@@ -1,0 +1,278 @@
+// Benchmarks: one per paper table and figure. Each benchmark runs a
+// scaled-down version of the corresponding experiment (fewer seeds and
+// transactions, same sweep) so `go test -bench=.` regenerates every
+// result's shape in seconds; full paper fidelity is `rtexp -exp all`.
+//
+// Custom metrics attached to the relevant benchmarks:
+//
+//	miss%          mean miss percent across the sweep (CCA variant)
+//	improve%       CCA's improvement over EDF-HP at the most contended point
+//	restarts/txn   restarts per transaction at the most contended point
+package rtdbs_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+const (
+	benchSeeds = 2
+	benchCount = 150
+)
+
+// runExperiment executes a (scaled) experiment sweep once per benchmark
+// iteration.
+func runExperiment(b *testing.B, id string) *rtdbs.ExperimentResult {
+	b.Helper()
+	def, ok := rtdbs.ExperimentByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var res *rtdbs.ExperimentResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = rtdbs.RunExperiment(def, rtdbs.ExperimentOptions{Seeds: benchSeeds, Count: benchCount})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+// reportComparison attaches the CCA-vs-EDF metrics of the last sweep point
+// (the most contended) to the benchmark output.
+func reportComparison(b *testing.B, res *rtdbs.ExperimentResult) {
+	b.Helper()
+	last := len(res.Agg) - 1
+	edf, cca := res.Summary(last, 0), res.Summary(last, 1)
+	b.ReportMetric(cca.MissPercent, "cca-miss%")
+	b.ReportMetric(edf.MissPercent, "edf-miss%")
+	if edf.MissPercent > 0 {
+		b.ReportMetric((edf.MissPercent-cca.MissPercent)/edf.MissPercent*100, "improve%")
+	}
+	b.ReportMetric(cca.RestartsPerTxn, "cca-restarts/txn")
+	b.ReportMetric(edf.RestartsPerTxn, "edf-restarts/txn")
+}
+
+// BenchmarkTable1BaseMM runs the Table 1 base configuration (single point).
+func BenchmarkTable1BaseMM(b *testing.B) {
+	cfg := rtdbs.MainMemoryConfig(rtdbs.CCA, 1)
+	cfg.Workload.Count = benchCount
+	cfg.Workload.ArrivalRate = 8
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rtdbs.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2BaseDisk runs the Table 2 base configuration.
+func BenchmarkTable2BaseDisk(b *testing.B) {
+	cfg := rtdbs.DiskConfig(rtdbs.CCA, 1)
+	cfg.Workload.Count = benchCount
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rtdbs.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4aMissVsRateMM — Figure 4.a (and 4.b's inputs): miss percent
+// vs arrival rate, EDF-HP vs CCA, main memory.
+func BenchmarkFig4aMissVsRateMM(b *testing.B) {
+	res := runExperiment(b, "4a")
+	reportComparison(b, res)
+}
+
+// BenchmarkFig4bImprovementMM — Figure 4.b: improvement of CCA over EDF-HP.
+func BenchmarkFig4bImprovementMM(b *testing.B) {
+	res := runExperiment(b, "4b")
+	reportComparison(b, res)
+}
+
+// BenchmarkFig4cRestartsMM — Figure 4.c: restarts per transaction vs rate.
+func BenchmarkFig4cRestartsMM(b *testing.B) {
+	res := runExperiment(b, "4c")
+	reportComparison(b, res)
+}
+
+// BenchmarkFig4dHighVariance — Figure 4.d: miss percent with 0.4/4/40 ms
+// update-time classes.
+func BenchmarkFig4dHighVariance(b *testing.B) {
+	res := runExperiment(b, "4d")
+	reportComparison(b, res)
+}
+
+// BenchmarkFig4eHighVarianceImprovement — Figure 4.e.
+func BenchmarkFig4eHighVarianceImprovement(b *testing.B) {
+	res := runExperiment(b, "4e")
+	reportComparison(b, res)
+}
+
+// BenchmarkFig4fDBSizeMM — Figure 4.f: miss percent vs database size at
+// 10 tr/s.
+func BenchmarkFig4fDBSizeMM(b *testing.B) {
+	res := runExperiment(b, "4f")
+	reportComparison(b, res)
+}
+
+// BenchmarkFig5aPenaltyWeightMM — Figure 5.a: penalty-weight stability
+// (main memory, 5 and 8 tr/s CCA curves).
+func BenchmarkFig5aPenaltyWeightMM(b *testing.B) {
+	res := runExperiment(b, "5a")
+	// Stability: spread of miss% across weights at the 8 TPS curve.
+	min, max := 1e18, -1e18
+	for xi := range res.Agg {
+		m := res.Summary(xi, 1).MissPercent
+		if m < min {
+			min = m
+		}
+		if m > max {
+			max = m
+		}
+	}
+	b.ReportMetric(max-min, "miss%-spread")
+}
+
+// BenchmarkFig5bMissVsRateDisk — Figure 5.b: miss percent vs arrival rate,
+// disk resident.
+func BenchmarkFig5bMissVsRateDisk(b *testing.B) {
+	res := runExperiment(b, "5b")
+	reportComparison(b, res)
+}
+
+// BenchmarkFig5cRestartsDisk — Figure 5.c: restarts per transaction vs
+// rate on disk (EDF-HP monotone rising, CCA flat).
+func BenchmarkFig5cRestartsDisk(b *testing.B) {
+	res := runExperiment(b, "5c")
+	reportComparison(b, res)
+}
+
+// BenchmarkFig5dImprovementDisk — Figure 5.d.
+func BenchmarkFig5dImprovementDisk(b *testing.B) {
+	res := runExperiment(b, "5d")
+	reportComparison(b, res)
+}
+
+// BenchmarkFig5eDBSizeDisk — Figure 5.e: miss percent vs database size at
+// 4 tr/s on disk.
+func BenchmarkFig5eDBSizeDisk(b *testing.B) {
+	res := runExperiment(b, "5e")
+	reportComparison(b, res)
+}
+
+// BenchmarkFig5fPenaltyWeightDisk — Figure 5.f: penalty-weight stability on
+// disk (4 tr/s).
+func BenchmarkFig5fPenaltyWeightDisk(b *testing.B) {
+	res := runExperiment(b, "5f")
+	min, max := 1e18, -1e18
+	for xi := range res.Agg {
+		m := res.Summary(xi, 0).MissPercent
+		if m < min {
+			min = m
+		}
+		if m > max {
+			max = m
+		}
+	}
+	b.ReportMetric(max-min, "miss%-spread")
+}
+
+// --- ablation benches (DESIGN.md §4 extensions) -------------------------
+
+// BenchmarkAblationPolicies compares all eight policies on the base
+// main-memory workload.
+func BenchmarkAblationPolicies(b *testing.B) {
+	runExperiment(b, "ablation-policies")
+}
+
+// BenchmarkAblationProportionalRecovery scales rollback cost with executed
+// work (paper §6: CCA should widen its lead).
+func BenchmarkAblationProportionalRecovery(b *testing.B) {
+	res := runExperiment(b, "ablation-recovery")
+	reportComparison(b, res)
+}
+
+// BenchmarkAblationMultiprocessor runs the §6 multiprocessor extension.
+func BenchmarkAblationMultiprocessor(b *testing.B) {
+	res := runExperiment(b, "ablation-mp")
+	reportComparison(b, res)
+}
+
+// BenchmarkAblationReadLocks enables shared locks (paper §6).
+func BenchmarkAblationReadLocks(b *testing.B) {
+	res := runExperiment(b, "ablation-readlocks")
+	reportComparison(b, res)
+}
+
+// BenchmarkAblationDiskQueue compares FCFS and priority disk queueing
+// under EDF-HP.
+func BenchmarkAblationDiskQueue(b *testing.B) {
+	runExperiment(b, "ablation-diskqueue")
+}
+
+// BenchmarkAblationFirmDeadlines runs the firm-deadline model (late
+// transactions dropped).
+func BenchmarkAblationFirmDeadlines(b *testing.B) {
+	res := runExperiment(b, "ablation-firm")
+	reportComparison(b, res)
+}
+
+// BenchmarkAblationMultiDisk stripes the database over two disks.
+func BenchmarkAblationMultiDisk(b *testing.B) {
+	runExperiment(b, "ablation-multidisk")
+}
+
+// BenchmarkAblationConditional simulates conditionally-conflicting
+// transactions (decision points), the paper's §6 unsimulated case.
+func BenchmarkAblationConditional(b *testing.B) {
+	runExperiment(b, "ablation-conditional")
+}
+
+// BenchmarkEngineSingleRun measures raw simulator throughput (one run of
+// the Table 1 base workload, full 1000 transactions).
+func BenchmarkEngineSingleRun(b *testing.B) {
+	cfg := rtdbs.MainMemoryConfig(rtdbs.CCA, 1)
+	cfg.Workload.ArrivalRate = 8
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rtdbs.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPreanalysis measures the §3.2.2 relation computation on the
+// paper's Figure 1 programs.
+func BenchmarkPreanalysis(b *testing.B) {
+	prog := &rtdbs.Program{
+		Name: "A",
+		Root: &rtdbs.Node{
+			Label: "A", Accesses: rtdbs.NewItemSet(0),
+			Children: []*rtdbs.Node{
+				{Label: "Aa", Accesses: rtdbs.NewItemSet(1, 2, 3)},
+				{Label: "Ab", Accesses: rtdbs.NewItemSet(4, 5, 6)},
+			},
+		},
+	}
+	bp := rtdbs.FlatProgram("B", 1, 2, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a, err := rtdbs.AnalyzeProgram(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bb, err := rtdbs.AnalyzeProgram(bp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sa := rtdbs.StateAt(a, "A")
+		sb := rtdbs.StateAt(bb, "B")
+		if rtdbs.ConflictBetween(sa, sb) != rtdbs.ConditionallyConflict {
+			b.Fatal("unexpected classification")
+		}
+	}
+}

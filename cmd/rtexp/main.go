@@ -1,0 +1,153 @@
+// Command rtexp reproduces the paper's evaluation: every table and figure,
+// or any single one.
+//
+// Usage:
+//
+//	rtexp -list                 # list experiments and the figures they produce
+//	rtexp -exp mm-rate          # run one sweep (all its figures)
+//	rtexp -exp 4a               # run the sweep containing figure 4.a
+//	rtexp -exp all              # run everything, including ablations
+//	rtexp -exp paper            # run exactly the paper's figures
+//	rtexp -exp table1           # print a parameter table (no simulation)
+//
+// Flags -seeds and -count shrink runs for quick looks; -format selects
+// text (default), md or csv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment or figure ID to run (or 'all', 'paper', 'table1', 'table2')")
+		list    = flag.Bool("list", false, "list available experiments")
+		seeds   = flag.Int("seeds", 0, "override seeds per point (0 = paper fidelity)")
+		count   = flag.Int("count", 0, "override transactions per run (0 = paper fidelity)")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		format  = flag.String("format", "text", "output format: text, md or csv")
+		plots   = flag.Bool("plot", false, "also render ASCII charts of the figures")
+		outDir  = flag.String("out", "", "also write one CSV file per figure into this directory")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *list {
+		listExperiments()
+		return
+	}
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	switch *exp {
+	case "table1":
+		emit(rtdbs.Table1(), *format)
+		return
+	case "table2":
+		emit(rtdbs.Table2(), *format)
+		return
+	}
+
+	var defs []rtdbs.Experiment
+	switch *exp {
+	case "all":
+		defs = rtdbs.Experiments()
+	case "paper":
+		for _, d := range rtdbs.Experiments() {
+			if !strings.HasPrefix(d.ID, "ablation-") {
+				defs = append(defs, d)
+			}
+		}
+	default:
+		d, ok := rtdbs.ExperimentByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rtexp: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(1)
+		}
+		defs = []rtdbs.Experiment{d}
+	}
+
+	if *exp == "all" || *exp == "paper" {
+		emit(rtdbs.Table1(), *format)
+		fmt.Println()
+		emit(rtdbs.Table2(), *format)
+		fmt.Println()
+	}
+
+	for _, def := range defs {
+		opt := rtdbs.ExperimentOptions{Seeds: *seeds, Count: *count, Workers: *workers}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "== %s: %s\n", def.ID, def.Title)
+			opt.Progress = progressBar(def)
+		}
+		start := time.Now()
+		res, err := rtdbs.RunExperiment(def, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtexp: %v\n", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "\r   done in %v%s\n", time.Since(start).Round(time.Millisecond), strings.Repeat(" ", 20))
+		}
+		tables := res.Tables()
+		for _, tbl := range tables {
+			emit(tbl, *format)
+			fmt.Println()
+		}
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "rtexp: %v\n", err)
+				os.Exit(1)
+			}
+			for i, tbl := range tables {
+				name := filepath.Join(*outDir, fmt.Sprintf("%s-%s.csv", def.ID, def.Figures[i].ID))
+				if err := os.WriteFile(name, []byte(tbl.CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "rtexp: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		if *plots {
+			for _, ch := range res.Charts() {
+				fmt.Println(ch.Render())
+			}
+		}
+	}
+}
+
+func listExperiments() {
+	for _, d := range rtdbs.Experiments() {
+		fmt.Printf("%-20s %s\n", d.ID, d.Title)
+		for _, f := range d.Figures {
+			fmt.Printf("    %-10s %s\n", f.ID, f.Title)
+		}
+	}
+	fmt.Printf("%-20s %s\n", "table1", "Table 1 — base parameters (main memory)")
+	fmt.Printf("%-20s %s\n", "table2", "Table 2 — base parameters (disk resident)")
+}
+
+func progressBar(def rtdbs.Experiment) func(done, total int) {
+	return func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\r   %d/%d runs", done, total)
+	}
+}
+
+func emit(t *rtdbs.Table, format string) {
+	switch format {
+	case "md":
+		fmt.Print(t.Markdown())
+	case "csv":
+		fmt.Print(t.CSV())
+	default:
+		fmt.Print(t.Text())
+	}
+}

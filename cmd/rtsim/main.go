@@ -1,0 +1,132 @@
+// Command rtsim runs a single real-time transaction scheduling simulation
+// and prints its metrics — the quickest way to poke at the system.
+//
+// Usage examples:
+//
+//	rtsim -policy cca -rate 8
+//	rtsim -policy edf-hp -rate 5 -disk -seeds 30
+//	rtsim -policy cca -rate 8 -weight 5 -dbsize 300 -count 2000
+//	rtsim -policy cca -rate 2 -count 5 -trace        # event-by-event trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		policy  = flag.String("policy", "cca", "scheduling policy: cca, edf-hp, edf-wp, lsf-hp, fcfs")
+		rate    = flag.Float64("rate", 5, "arrival rate (transactions/second)")
+		count   = flag.Int("count", 0, "transactions per run (0 = paper default)")
+		dbsize  = flag.Int("dbsize", 0, "database size (0 = paper default)")
+		disk    = flag.Bool("disk", false, "disk-resident configuration (Table 2) instead of main memory (Table 1)")
+		weight  = flag.Float64("weight", 1, "CCA penalty-weight w")
+		cpus    = flag.Int("cpus", 1, "number of CPUs (extension)")
+		reads   = flag.Float64("reads", 0, "fraction of accesses taking shared locks (extension)")
+		seeds   = flag.Int("seeds", 1, "number of seeds to average over")
+		seed    = flag.Int64("seed", 1, "first seed")
+		wlFile  = flag.String("workload", "", "replay an archived workload (rtworkload -gen) instead of generating one")
+		trace   = flag.Bool("trace", false, "print the event trace (single seed only)")
+		verbose = flag.Bool("v", false, "print per-seed results")
+	)
+	flag.Parse()
+
+	var cfg rtdbs.Config
+	if *disk {
+		cfg = rtdbs.DiskConfig(rtdbs.PolicyKind(*policy), *seed)
+	} else {
+		cfg = rtdbs.MainMemoryConfig(rtdbs.PolicyKind(*policy), *seed)
+	}
+	cfg.Workload.ArrivalRate = *rate
+	cfg.PenaltyWeight = *weight
+	cfg.NumCPUs = *cpus
+	cfg.Workload.ReadFraction = *reads
+	if *count > 0 {
+		cfg.Workload.Count = *count
+	}
+	if *dbsize > 0 {
+		cfg.Workload.DBSize = *dbsize
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "rtsim: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *wlFile != "" {
+		f, err := os.Open(*wlFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtsim: %v\n", err)
+			os.Exit(1)
+		}
+		wl, err := rtdbs.ReadWorkloadJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtsim: %v\n", err)
+			os.Exit(1)
+		}
+		// Replay: the workload fixes everything except the policy knobs.
+		cfg.Workload = wl.Params
+		e, err := rtdbs.NewWithWorkload(cfg, wl)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtsim: %v\n", err)
+			os.Exit(1)
+		}
+		res, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("replayed %s under %s\n%s\n", *wlFile, *policy, res)
+		return
+	}
+
+	if *trace {
+		e, err := rtdbs.New(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtsim: %v\n", err)
+			os.Exit(1)
+		}
+		e.SetTrace(func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		})
+		res, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%s\n", res)
+		return
+	}
+
+	agg := &rtdbs.Aggregate{}
+	for s := *seed; s < *seed+int64(*seeds); s++ {
+		c := cfg
+		c.Seed = s
+		res, err := rtdbs.Run(c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtsim: seed %d: %v\n", s, err)
+			os.Exit(1)
+		}
+		if *verbose {
+			fmt.Printf("seed %-3d %s\n", s, res)
+		}
+		agg.Add(res)
+	}
+	sum := agg.Summary()
+	fmt.Printf("policy=%s rate=%.2g seeds=%d\n", *policy, *rate, *seeds)
+	fmt.Printf("  miss        = %6.2f%%  (±%.2f)\n", sum.MissPercent, agg.MissPercent.CI95())
+	fmt.Printf("  lateness    = %6.2f ms (±%.2f)\n", sum.MeanLatenessMs, agg.MeanLatenessMs.CI95())
+	fmt.Printf("  restarts/txn= %6.3f   (±%.3f)\n", sum.RestartsPerTxn, agg.RestartsPerTxn.CI95())
+	fmt.Printf("  cpu util    = %6.1f%%\n", 100*sum.CPUUtilization)
+	if sum.DiskUtilization > 0 {
+		fmt.Printf("  disk util   = %6.1f%%\n", 100*sum.DiskUtilization)
+	}
+	fmt.Printf("  avg P-list  = %6.2f\n", sum.AvgPListSize)
+	if sum.LockWaits > 0 || sum.Deadlocks > 0 {
+		fmt.Printf("  lock waits  = %d, deadlocks = %d\n", sum.LockWaits, sum.Deadlocks)
+	}
+}

@@ -1,0 +1,89 @@
+// Command rtworkload generates, inspects and archives simulation
+// workloads. Archived workloads can be replayed with `rtsim -workload`
+// under any policy, which guarantees both sides of a comparison see
+// byte-identical inputs.
+//
+// Usage:
+//
+//	rtworkload -gen -rate 8 -count 500 -seed 3 > wl.json
+//	rtworkload -gen -disk -out wl.json
+//	rtworkload -describe wl.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		gen      = flag.Bool("gen", false, "generate a workload to stdout (or -out)")
+		describe = flag.String("describe", "", "summarise a workload file")
+		out      = flag.String("out", "", "output file for -gen (default stdout)")
+		rate     = flag.Float64("rate", 5, "arrival rate (tr/s)")
+		count    = flag.Int("count", 0, "transactions (0 = paper default)")
+		dbsize   = flag.Int("dbsize", 0, "database size (0 = paper default)")
+		disk     = flag.Bool("disk", false, "Table 2 disk-resident parameters")
+		reads    = flag.Float64("reads", 0, "shared-lock fraction (extension)")
+		seed     = flag.Int64("seed", 1, "generation seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *describe != "":
+		f, err := os.Open(*describe)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		wl, err := rtdbs.ReadWorkloadJSON(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(wl.Describe())
+
+	case *gen:
+		var cfg rtdbs.Config
+		if *disk {
+			cfg = rtdbs.DiskConfig(rtdbs.CCA, *seed)
+		} else {
+			cfg = rtdbs.MainMemoryConfig(rtdbs.CCA, *seed)
+		}
+		cfg.Workload.ArrivalRate = *rate
+		cfg.Workload.ReadFraction = *reads
+		if *count > 0 {
+			cfg.Workload.Count = *count
+		}
+		if *dbsize > 0 {
+			cfg.Workload.DBSize = *dbsize
+		}
+		wl, err := rtdbs.GenerateWorkload(cfg.Workload, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := wl.WriteJSON(w); err != nil {
+			fatal(err)
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rtworkload: %v\n", err)
+	os.Exit(1)
+}

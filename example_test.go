@@ -1,0 +1,85 @@
+package rtdbs_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Example runs the paper's base main-memory workload under CCA for one
+// seed and prints whether every transaction committed.
+func Example() {
+	cfg := rtdbs.MainMemoryConfig(rtdbs.CCA, 1)
+	cfg.Workload.Count = 200
+	cfg.Workload.ArrivalRate = 8
+
+	res, err := rtdbs.Run(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("committed %d/200, no lock waits: %v\n", res.Committed, res.LockWaits == 0)
+	// Output:
+	// committed 200/200, no lock waits: true
+}
+
+// ExampleRunSeeds averages a configuration over several seeds, as the
+// paper averages each configuration over 10 or 30 runs.
+func ExampleRunSeeds() {
+	cfg := rtdbs.MainMemoryConfig(rtdbs.EDFHP, 1)
+	cfg.Workload.Count = 100
+
+	agg, err := rtdbs.RunSeeds(cfg, rtdbs.Seeds(5))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("runs aggregated: %d\n", agg.N())
+	// Output:
+	// runs aggregated: 5
+}
+
+// ExampleConflictBetween reproduces the paper's Figure 1/2 worked example:
+// program A reads w and branches; program B always accesses I1..I3.
+func ExampleConflictBetween() {
+	a, _ := rtdbs.AnalyzeProgram(&rtdbs.Program{
+		Name: "A",
+		Root: &rtdbs.Node{
+			Label: "A", Accesses: rtdbs.NewItemSet(0), // w
+			Children: []*rtdbs.Node{
+				{Label: "Aa", Accesses: rtdbs.NewItemSet(1, 2, 3)}, // w > 100
+				{Label: "Ab", Accesses: rtdbs.NewItemSet(4, 5, 6)}, // w <= 100
+			},
+		},
+	})
+	b, _ := rtdbs.AnalyzeProgram(rtdbs.FlatProgram("B", 1, 2, 3))
+	bState := rtdbs.StateAt(b, "B")
+
+	fmt.Println(rtdbs.ConflictBetween(rtdbs.StateAt(a, "A"), bState))
+	fmt.Println(rtdbs.ConflictBetween(rtdbs.StateAt(a, "Aa"), bState))
+	fmt.Println(rtdbs.ConflictBetween(rtdbs.StateAt(a, "Ab"), bState))
+	// Output:
+	// conditionally-conflict
+	// conflict
+	// no-conflict
+}
+
+// ExampleExperimentByID regenerates (a scaled-down slice of) a paper
+// figure programmatically.
+func ExampleExperimentByID() {
+	def, ok := rtdbs.ExperimentByID("4a")
+	if !ok {
+		fmt.Println("not found")
+		return
+	}
+	def.Xs = []float64{6} // one sweep point for the example
+	res, err := rtdbs.RunExperiment(def, rtdbs.ExperimentOptions{Seeds: 2, Count: 80})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	edf, cca := res.Summary(0, 0), res.Summary(0, 1)
+	fmt.Printf("CCA misses no more than EDF-HP: %v\n", cca.MissPercent <= edf.MissPercent)
+	// Output:
+	// CCA misses no more than EDF-HP: true
+}

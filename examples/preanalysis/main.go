@@ -1,0 +1,95 @@
+// Pre-analysis example: the paper's transaction-tree formalism (§3.2.2)
+// applied to a small banking workload with decision points.
+//
+// A funds-transfer program reads the source account and only then decides
+// whether it touches the overdraft ledger; an audit program scans a fixed
+// set of accounts. The analysis shows which pairs can run concurrently,
+// which must conflict, and — for partially executed transactions — who
+// would have to be rolled back, exactly the information CCA's penalty of
+// conflict and IOwait-schedule consume.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// Database items.
+const (
+	AcctAlice rtdbs.Item = iota
+	AcctBob
+	AcctCarol
+	OverdraftLedger
+	FeeSchedule
+	AuditLog
+)
+
+func main() {
+	// transfer(Alice -> Bob): reads Alice, then either the happy path
+	// (update both accounts) or the overdraft path (also touch the
+	// overdraft ledger and fee schedule).
+	transfer := &rtdbs.Program{
+		Name: "transfer",
+		Root: &rtdbs.Node{
+			Label:    "transfer",
+			Accesses: rtdbs.NewItemSet(AcctAlice),
+			Children: []*rtdbs.Node{
+				{Label: "transfer/ok", Accesses: rtdbs.NewItemSet(AcctBob)},
+				{Label: "transfer/overdraft", Accesses: rtdbs.NewItemSet(AcctBob, OverdraftLedger, FeeSchedule)},
+			},
+		},
+	}
+
+	// audit: straight-line scan of Carol's account into the audit log.
+	audit := rtdbs.FlatProgram("audit", AcctCarol, AuditLog)
+
+	// feeUpdate: straight-line update of the fee schedule.
+	feeUpdate := rtdbs.FlatProgram("feeUpdate", FeeSchedule)
+
+	at, err := rtdbs.AnalyzeProgram(transfer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	aa, err := rtdbs.AnalyzeProgram(audit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	af, err := rtdbs.AnalyzeProgram(feeUpdate)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Derived access sets of the transfer program:")
+	for _, label := range at.Labels() {
+		fmt.Printf("  %-20s hasaccessed=%v mightaccess=%v\n",
+			label, at.HasAccessed(label), at.MightAccess(label))
+	}
+
+	root := rtdbs.StateAt(at, "transfer")
+	ok := rtdbs.StateAt(at, "transfer/ok")
+	over := rtdbs.StateAt(at, "transfer/overdraft")
+	auditSt := rtdbs.StateAt(aa, "audit")
+	feeSt := rtdbs.StateAt(af, "feeUpdate")
+
+	fmt.Println("\nConflict classification (symmetric):")
+	show := func(name string, a, b rtdbs.TxnState) {
+		fmt.Printf("  %-34s %v\n", name, rtdbs.ConflictBetween(a, b))
+	}
+	show("transfer vs audit:", root, auditSt)             // disjoint: no conflict
+	show("transfer vs feeUpdate:", root, feeSt)           // depends on the branch
+	show("transfer/ok vs feeUpdate:", ok, feeSt)          // happy path avoids fees
+	show("transfer/overdraft vs feeUpdate:", over, feeSt) // overdraft needs fees
+
+	fmt.Println("\nSafety of a partially executed feeUpdate wrt scheduling transfer:")
+	fmt.Printf("  before transfer's decision point: %v\n", rtdbs.SafetyOf(feeSt, root))
+	fmt.Printf("  after the happy-path branch:      %v\n", rtdbs.SafetyOf(feeSt, ok))
+	fmt.Printf("  after the overdraft branch:       %v\n", rtdbs.SafetyOf(feeSt, over))
+
+	fmt.Println("\nScheduling consequence:")
+	fmt.Println("  - audit can always run during a transfer's IO wait (no conflict);")
+	fmt.Println("  - feeUpdate conditionally conflicts with a fresh transfer, so CCA's")
+	fmt.Println("    IOwait-schedule will not start it while a transfer is partially")
+	fmt.Println("    executed - unless the transfer has already taken its happy path.")
+}

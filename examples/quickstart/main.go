@@ -1,0 +1,45 @@
+// Quickstart: run the paper's base main-memory workload (Table 1) under
+// EDF-HP and under CCA, averaged over the paper's 10 seeds, and print the
+// comparison — the smallest complete use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const rate = 8 // transactions/second, a contended point (capacity is 12.5)
+
+	fmt.Printf("Real-time transaction scheduling, Table 1 base workload at %v tr/s\n\n", rate)
+
+	results := map[rtdbs.PolicyKind]rtdbs.Result{}
+	for _, policy := range []rtdbs.PolicyKind{rtdbs.EDFHP, rtdbs.CCA} {
+		cfg := rtdbs.MainMemoryConfig(policy, 1)
+		cfg.Workload.ArrivalRate = rate
+
+		agg, err := rtdbs.RunSeeds(cfg, rtdbs.Seeds(10))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum := agg.Summary()
+		results[policy] = sum
+		fmt.Printf("%-7s miss=%5.2f%%  mean lateness=%6.2f ms  restarts/txn=%.3f  cpu=%.0f%%\n",
+			policy, sum.MissPercent, sum.MeanLatenessMs, sum.RestartsPerTxn, 100*sum.CPUUtilization)
+	}
+
+	edf, cca := results[rtdbs.EDFHP], results[rtdbs.CCA]
+	fmt.Printf("\nCCA improvement over EDF-HP (the paper's metric, (EDF-CCA)/EDF x 100):\n")
+	fmt.Printf("  miss percent : %5.1f%%\n", improvement(edf.MissPercent, cca.MissPercent))
+	fmt.Printf("  mean lateness: %5.1f%%\n", improvement(edf.MeanLatenessMs, cca.MeanLatenessMs))
+	fmt.Printf("  restarts/txn : %5.1f%%\n", improvement(edf.RestartsPerTxn, cca.RestartsPerTxn))
+}
+
+func improvement(baseline, candidate float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return (baseline - candidate) / baseline * 100
+}

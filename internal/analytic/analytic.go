@@ -1,0 +1,103 @@
+// Package analytic provides closed-form queueing approximations for the
+// simulated system's no-contention limits. The paper sanity-checks its
+// simulator with capacity arithmetic (§4.1, §4.2, §5); this package extends
+// that practice: when data contention is removed (huge database) and
+// scheduling is FCFS, the CPU is an M/G/1 queue and the simulator's
+// measured response times must match Pollaczek–Khinchine — which the test
+// suite verifies. The formulas are also used to pick sane experiment
+// operating points.
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Utilization returns ρ = λ·E[S] for arrival rate λ (per second) and mean
+// service time E[S] (seconds).
+func Utilization(lambda, meanService float64) float64 {
+	return lambda * meanService
+}
+
+// MM1Response returns the mean response time (wait + service, seconds) of
+// an M/M/1 queue: W = 1/(μ − λ) with μ = 1/E[S]. It panics at or above
+// saturation.
+func MM1Response(lambda, meanService float64) float64 {
+	mu := 1 / meanService
+	if lambda >= mu {
+		panic(fmt.Sprintf("analytic: M/M/1 unstable: λ=%v ≥ μ=%v", lambda, mu))
+	}
+	return 1 / (mu - lambda)
+}
+
+// MG1Wait returns the mean waiting time (excluding service, seconds) of an
+// M/G/1 queue via Pollaczek–Khinchine: Wq = λ·E[S²] / (2(1−ρ)).
+func MG1Wait(lambda, meanService, meanServiceSq float64) float64 {
+	rho := Utilization(lambda, meanService)
+	if rho >= 1 {
+		panic(fmt.Sprintf("analytic: M/G/1 unstable: ρ=%v", rho))
+	}
+	return lambda * meanServiceSq / (2 * (1 - rho))
+}
+
+// MG1Response returns the mean response time of an M/G/1 queue.
+func MG1Response(lambda, meanService, meanServiceSq float64) float64 {
+	return MG1Wait(lambda, meanService, meanServiceSq) + meanService
+}
+
+// MD1Response returns the mean response time of an M/D/1 queue
+// (deterministic service): Wq = ρ·E[S] / (2(1−ρ)).
+func MD1Response(lambda, service float64) float64 {
+	return MG1Response(lambda, service, service*service)
+}
+
+// LittleL returns the mean number in system by Little's law, L = λ·W.
+func LittleL(lambda, response float64) float64 { return lambda * response }
+
+// ServiceMoments returns E[S] and E[S²] (seconds, seconds²) for the
+// simulated transaction service time S = N·c, where N is the per-type
+// update count — a normal(mean, std) rounded to the nearest integer and
+// clamped to [1, dbSize] — and c is the per-update compute time in
+// seconds. The moments are computed exactly over the discrete distribution.
+func ServiceMoments(mean, std float64, dbSize int, computeSec float64) (es, es2 float64) {
+	var p1, pn, pn2 float64
+	for n := 1; n <= dbSize; n++ {
+		p := clampedNormalPMF(mean, std, 1, dbSize, n)
+		p1 += p
+		pn += p * float64(n)
+		pn2 += p * float64(n) * float64(n)
+	}
+	// p1 sums to 1 up to floating error; normalise defensively.
+	pn /= p1
+	pn2 /= p1
+	return pn * computeSec, pn2 * computeSec * computeSec
+}
+
+// clampedNormalPMF returns P(N = n) where N = clamp(round(X), lo, hi) and
+// X ~ Normal(mean, std).
+func clampedNormalPMF(mean, std float64, lo, hi, n int) float64 {
+	cdf := func(x float64) float64 {
+		if std == 0 {
+			if x >= mean {
+				return 1
+			}
+			return 0
+		}
+		return 0.5 * (1 + math.Erf((x-mean)/(std*math.Sqrt2)))
+	}
+	switch {
+	case n == lo:
+		// Everything rounding to <= lo clamps up to lo.
+		return cdf(float64(lo) + 0.5)
+	case n == hi:
+		return 1 - cdf(float64(hi)-0.5)
+	default:
+		return cdf(float64(n)+0.5) - cdf(float64(n)-0.5)
+	}
+}
+
+// MeanUpdates returns E[N] for the clamped update-count distribution.
+func MeanUpdates(mean, std float64, dbSize int) float64 {
+	es, _ := ServiceMoments(mean, std, dbSize, 1)
+	return es
+}

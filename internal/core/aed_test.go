@@ -1,0 +1,80 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestAEDLightLoadEqualsEDFHP: before the feedback controller ever shrinks
+// the HIT capacity (no misses at light load), AED's HIT group holds every
+// transaction, the HIT band is EDF-ordered and conflicts resolve exactly
+// like EDF-HP — so the runs are identical.
+func TestAEDLightLoadEqualsEDFHP(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		mk := func(p PolicyKind) Config {
+			cfg := MainMemoryConfig(p, seed)
+			cfg.Workload.Count = 120
+			cfg.Workload.ArrivalRate = 2 // light: nothing misses
+			cfg.CheckInvariants = true
+			return cfg
+		}
+		a, b := mustRun(t, mk(AED)), mustRun(t, mk(EDFHP))
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: AED != EDF-HP at light load:\n%+v\n%+v", seed, a, b)
+		}
+	}
+}
+
+// TestAEDCompletesUnderOverload: the feedback loop must remain stable and
+// drain the workload even past CPU saturation (rate 16 > capacity 12.5).
+func TestAEDCompletesUnderOverload(t *testing.T) {
+	cfg := MainMemoryConfig(AED, 2)
+	cfg.Workload.Count = 250
+	cfg.Workload.ArrivalRate = 16
+	cfg.CheckInvariants = true
+	res := mustRun(t, cfg)
+	if res.Committed != 250 {
+		t.Fatalf("committed %d/250", res.Committed)
+	}
+}
+
+// TestAEDFirmOverloadBeatsEDF: AED's reason to exist — under firm
+// deadlines past saturation, shrinking the HIT group avoids EDF's collapse
+// (everything gets near its deadline, everything misses). AED should be at
+// least competitive with EDF-HP there.
+func TestAEDFirmOverloadBeatsEDF(t *testing.T) {
+	get := func(p PolicyKind) float64 {
+		var total float64
+		for seed := int64(1); seed <= 5; seed++ {
+			cfg := MainMemoryConfig(p, seed)
+			cfg.Workload.Count = 300
+			cfg.Workload.ArrivalRate = 18 // well past capacity
+			cfg.FirmDeadlines = true
+			res := mustRun(t, cfg)
+			total += res.MissPercent
+		}
+		return total / 5
+	}
+	aed, edf := get(AED), get(EDFHP)
+	if aed > edf+5 {
+		t.Fatalf("AED miss %.2f%% materially worse than EDF-HP %.2f%% in firm overload", aed, edf)
+	}
+	t.Logf("firm overload: AED %.2f%% vs EDF-HP %.2f%%", aed, edf)
+}
+
+// TestAEDDiskCompletes: AED on the disk-resident configuration.
+func TestAEDDiskCompletes(t *testing.T) {
+	res := mustRun(t, smallDisk(AED, 1))
+	if res.Committed != 80 {
+		t.Fatalf("committed %d/80", res.Committed)
+	}
+}
+
+// TestAEDKeysStableAndDeterministic: a transaction's group key is drawn
+// once; replays are identical.
+func TestAEDKeysStableAndDeterministic(t *testing.T) {
+	a, b := mustRun(t, smallMM(AED, 9)), mustRun(t, smallMM(AED, 9))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("AED replay diverged")
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import "repro/internal/txn"
+
+// bitset is a fixed-capacity item set used on the engine's hot paths
+// (unsafe/conflict tests run at every scheduling point). Capacity is the
+// database size, so intersection tests are a handful of word ANDs.
+type bitset []uint64
+
+// newBitset returns an empty set able to hold items [0, n).
+func newBitset(n int) bitset {
+	return make(bitset, (n+63)/64)
+}
+
+// add inserts the item.
+func (b bitset) add(it txn.Item) { b[int(it)/64] |= 1 << (uint(it) % 64) }
+
+// contains reports membership.
+func (b bitset) contains(it txn.Item) bool {
+	return b[int(it)/64]&(1<<(uint(it)%64)) != 0
+}
+
+// clear removes all items.
+func (b bitset) clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// any reports whether the set is non-empty.
+func (b bitset) any() bool {
+	for _, w := range b {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// intersects reports whether b and o share an item.
+func (b bitset) intersects(o bitset) bool {
+	n := len(b)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if b[i]&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// count returns the number of items in the set.
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// fromItems builds a bitset of capacity n from an item list.
+func fromItems(n int, items []txn.Item) bitset {
+	b := newBitset(n)
+	for _, it := range items {
+		b.add(it)
+	}
+	return b
+}

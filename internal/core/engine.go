@@ -1,0 +1,1010 @@
+// Package core implements the paper's real-time transaction processing
+// engine: a discrete-event simulation of a single- (or multi-) CPU database
+// system executing soft-deadline transactions under a pluggable scheduling
+// policy — the paper's Cost Conscious Approach (CCA) or one of the baselines
+// (EDF-HP, EDF-WP, LSF-HP, EDF-CR, AED, PCP, FCFS).
+//
+// The engine follows the paper's model (§3.3):
+//
+//   - the scheduler is invoked whenever a transaction arrives, the running
+//     transaction finishes, or an IO wait occurs; priorities use continuous
+//     evaluation — they are refreshed at every scheduling point (for CCA
+//     the penalty of conflict changes as partially executed transactions
+//     accumulate service time);
+//   - on a data conflict the policy either wounds the holders (High
+//     Priority: the victim is rolled back at a fixed CPU cost and restarts
+//     from scratch with its original deadline) or blocks the requester;
+//   - while the highest-priority transaction is blocked on IO, CCA's
+//     IOwait-schedule gives the CPU only to ready transactions that do not
+//     conflict — even conditionally — with any partially executed
+//     transaction, eliminating noncontributing executions;
+//   - a transaction wounded while its disk access is in service does not
+//     release the disk until the access completes (§5).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/disk"
+	"repro/internal/history"
+	"repro/internal/lock"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// negInf marks "no inherited priority".
+var negInf = math.Inf(-1)
+
+// Engine executes one simulation run.
+type Engine struct {
+	cfg    Config
+	policy Policy
+	sim    *sim.Simulator
+	lm     *lock.Manager
+	disks  []*disk.Disk // empty for the main-memory configuration
+	store  *db.Store
+	hist   *history.History // nil unless Config.RecordHistory
+	wl     *workload.Workload
+
+	all   []*Txn // every transaction, indexed by ID
+	live  []*Txn // arrived, not yet committed, in arrival order
+	slots []*Txn // CPU occupants (nil = idle)
+
+	committed int
+	dropped   int
+	hasReads  bool // any shared-lock accesses in the workload
+	run       metrics.Run
+	lastNote  sim.Time
+
+	inReschedule    bool
+	rescheduleAgain bool
+
+	// trace, when non-nil, receives engine events (tests and examples).
+	trace func(format string, args ...any)
+	// rec, when non-nil, receives structured events (internal/trace).
+	rec trace.Recorder
+}
+
+// New builds an engine for the configuration. The workload is generated
+// immediately from cfg.Seed.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	wl, err := workload.Generate(cfg.Workload, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithWorkload(cfg, wl)
+}
+
+// NewWithWorkload builds an engine that executes a caller-supplied workload
+// (hand-crafted scenarios, trace replays) instead of generating one from
+// cfg.Seed. cfg.Workload still supplies the structural parameters (database
+// size, disk access time); each transaction's items must lie in
+// [0, DBSize).
+func NewWithWorkload(cfg Config, wl *workload.Workload) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if wl == nil || len(wl.Txns) == 0 {
+		return nil, fmt.Errorf("core: empty workload")
+	}
+	for i := range wl.Txns {
+		s := &wl.Txns[i]
+		if s.ID != i {
+			return nil, fmt.Errorf("core: transaction %d has ID %d; IDs must be dense arrival indices", i, s.ID)
+		}
+		if len(s.Items) == 0 {
+			return nil, fmt.Errorf("core: transaction %d accesses no items", i)
+		}
+		for _, it := range s.Items {
+			if int(it) < 0 || int(it) >= cfg.Workload.DBSize {
+				return nil, fmt.Errorf("core: transaction %d item %d outside database of size %d", i, it, cfg.Workload.DBSize)
+			}
+		}
+		if i > 0 && s.Arrival < wl.Txns[i-1].Arrival {
+			return nil, fmt.Errorf("core: transaction %d arrives before its predecessor", i)
+		}
+	}
+	e := &Engine{
+		cfg:    cfg,
+		policy: newPolicy(cfg),
+		sim:    sim.New(),
+		lm:     lock.NewManager(),
+		store:  db.New(cfg.Workload.DBSize),
+		wl:     wl,
+		slots:  make([]*Txn, cfg.NumCPUs),
+	}
+	if cfg.RecordHistory {
+		e.hist = history.New()
+	}
+	if cfg.Workload.DiskAccessProb > 0 {
+		n := cfg.NumDisks
+		if n <= 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			e.disks = append(e.disks, disk.New(e.sim, cfg.Workload.DiskAccessTime, cfg.DiskDiscipline))
+		}
+	}
+	for i := range wl.Txns {
+		spec := &wl.Txns[i]
+		t := &Txn{
+			Spec:      spec,
+			might:     fromItems(cfg.Workload.DBSize, spec.Items),
+			has:       newBitset(cfg.Workload.DBSize),
+			cpu:       -1,
+			inherited: negInf,
+		}
+		if len(spec.MightFull) > 0 && !cfg.PessimisticAnalysis {
+			// Decision-point transaction: until the decision point
+			// executes, the scheduler must assume both branches.
+			t.mightNarrow = t.might
+			t.mightFull = fromItems(cfg.Workload.DBSize, spec.MightFull)
+			t.might = t.mightFull
+		} else if len(spec.MightFull) > 0 {
+			// Pessimistic mode: the union set for the whole lifetime.
+			t.might = fromItems(cfg.Workload.DBSize, spec.MightFull)
+		}
+		for _, r := range spec.Reads {
+			if r {
+				e.hasReads = true
+				break
+			}
+		}
+		e.all = append(e.all, t)
+	}
+	e.run.CPUs = cfg.NumCPUs
+	return e, nil
+}
+
+// SetTrace installs a human-readable trace sink (nil disables tracing).
+func (e *Engine) SetTrace(fn func(format string, args ...any)) { e.trace = fn }
+
+// SetRecorder installs a structured event recorder (nil disables).
+func (e *Engine) SetRecorder(r trace.Recorder) { e.rec = r }
+
+// emit sends a structured event to the recorder, if any.
+func (e *Engine) emit(ev trace.Event) {
+	if e.rec != nil {
+		ev.At = time.Duration(e.sim.Now())
+		e.rec.Record(ev)
+	}
+}
+
+func (e *Engine) tracef(format string, args ...any) {
+	if e.trace != nil {
+		e.trace("[%8.3fms] "+format, append([]any{ms(time.Duration(e.sim.Now()))}, args...)...)
+	}
+}
+
+// Workload returns the generated workload of this run.
+func (e *Engine) Workload() *workload.Workload { return e.wl }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() time.Duration { return time.Duration(e.sim.Now()) }
+
+// Txns returns the runtime transactions (indexed by ID).
+func (e *Engine) Txns() []*Txn { return e.all }
+
+// Run executes the simulation to completion and returns the run metrics.
+// It fails if the event guard trips before every transaction commits (which
+// would indicate an engine bug — the workload is finite and soft-deadline
+// transactions are never dropped).
+func (e *Engine) Run() (metrics.Result, error) {
+	for _, t := range e.all {
+		t := t
+		e.sim.At(sim.Time(t.Spec.Arrival), func() { e.onArrival(t) })
+	}
+	guard := e.cfg.maxEvents(len(e.all))
+	e.sim.RunLimit(guard)
+	if e.committed+e.dropped != len(e.all) {
+		return metrics.Result{}, fmt.Errorf("core: %d/%d transactions finished after %d events (engine stall or guard too low)",
+			e.committed+e.dropped, len(e.all), e.sim.Executed())
+	}
+	if len(e.disks) > 0 {
+		// Drain any orphaned in-service accesses so busy time is complete.
+		e.sim.Run()
+		for _, d := range e.disks {
+			e.run.DiskBusy += d.BusyTime()
+		}
+		e.run.Disks = len(e.disks)
+	}
+	e.store.CheckClean()
+	return e.run.Result(), nil
+}
+
+// diskFor returns the disk serving the given item (items stripe across
+// disks by item number).
+func (e *Engine) diskFor(it txn.Item) *disk.Disk {
+	return e.disks[int(it)%len(e.disks)]
+}
+
+// Store returns the database store (for inspection after Run).
+func (e *Engine) Store() *db.Store { return e.store }
+
+// History returns the recorded operation history, or nil when
+// Config.RecordHistory is false.
+func (e *Engine) History() *history.History { return e.hist }
+
+// note integrates the P-list size up to the current instant; every event
+// handler calls it before mutating state.
+func (e *Engine) note() {
+	now := e.sim.Now()
+	if now > e.lastNote {
+		n := 0
+		for _, t := range e.live {
+			if t.PartiallyExecuted() {
+				n++
+			}
+		}
+		e.run.PListArea += float64(n) * float64(now-e.lastNote)
+		e.run.LiveArea += float64(len(e.live)) * float64(now-e.lastNote)
+		e.lastNote = now
+	}
+}
+
+// PenaltyOfConflict returns the paper's TL for t: the effective service
+// time (plus, optionally, rollback time) of every partially executed
+// transaction that is unsafe or conditionally unsafe with respect to t —
+// i.e. has accessed an item t might access. (Paper §3.3.1; the simulation
+// mode treats unsafe and conditionally unsafe alike, as §4 does.)
+func (e *Engine) PenaltyOfConflict(t *Txn) time.Duration {
+	var sum time.Duration
+	for _, p := range e.live {
+		if p == t || !p.PartiallyExecuted() {
+			continue
+		}
+		if p.has.intersects(t.might) {
+			sum += e.serviceNow(p)
+			if e.cfg.PenaltyIncludesRollback {
+				sum += e.rollbackCost(p)
+			}
+		}
+	}
+	return sum
+}
+
+// serviceNow returns p's effective service time including the partial
+// current CPU slice of a running transaction.
+func (e *Engine) serviceNow(p *Txn) time.Duration {
+	s := p.service
+	if p.state == StateRunning && p.cpuEvent != nil {
+		s += time.Duration(e.sim.Now() - p.sliceStart)
+	}
+	return s
+}
+
+// rollbackCost returns the CPU time to roll back v: the fixed abort cost,
+// plus a share proportional to v's executed work when the
+// recovery-proportional extension is enabled.
+func (e *Engine) rollbackCost(v *Txn) time.Duration {
+	c := e.cfg.AbortCost
+	if e.cfg.RecoveryProportionalFactor > 0 {
+		c += time.Duration(e.cfg.RecoveryProportionalFactor * float64(e.serviceNow(v)))
+	}
+	return c
+}
+
+// --- event handlers ---------------------------------------------------
+
+func (e *Engine) onArrival(t *Txn) {
+	e.note()
+	t.state = StateReady
+	e.live = append(e.live, t)
+	e.tracef("T%d arrives (deadline %.1fms, %d items)", t.ID(), ms(t.Spec.Deadline), len(t.Spec.Items))
+	e.emit(trace.Event{Kind: trace.Arrival, Txn: t.ID(), Other: -1, Item: -1})
+	if e.cfg.FirmDeadlines {
+		e.sim.At(sim.Time(t.Spec.Deadline), func() { e.onDeadline(t) })
+	}
+	e.reschedule()
+}
+
+// onUpdateDone fires when the current update's computation completes. Per
+// the paper the scheduler is not re-invoked between updates; the
+// transaction continues directly with its next item.
+func (e *Engine) onUpdateDone(t *Txn) {
+	e.note()
+	elapsed := time.Duration(e.sim.Now() - t.sliceStart)
+	t.cpuEvent = nil
+	t.service += elapsed
+	e.run.CPUBusy += elapsed
+	t.remain = 0
+	t.ioDone = false
+	e.applyUpdate(t)
+	if t.mightNarrow != nil && t.next == t.Spec.DecisionIndex {
+		// The decision point has executed: the transaction is now
+		// committed to its branch and its might-access set narrows
+		// (paper §3.2.2 — "refinements of what we know about the
+		// transaction's execution").
+		t.might = t.mightNarrow
+		e.tracef("T%d passes its decision point; might-set narrows", t.ID())
+	}
+	t.next++
+	e.startItem(t)
+	// If the transaction blocked (IO or lock) or wounded victims whose
+	// release woke waiters, the scheduler must run; if it simply moved on
+	// to its next update, no scheduling point occurs (paper §3.3.2: the
+	// scheduler is invoked on arrival, finish and IO wait only).
+	if e.rescheduleAgain && !e.inReschedule {
+		e.reschedule()
+	}
+}
+
+func (e *Engine) onIODone(t *Txn, req *disk.Request) {
+	e.note()
+	if t.ioReq != req {
+		// Stale completion: t was wounded while this access was in
+		// service; the restart was deferred until the disk released
+		// (paper §5).
+		if t.state == StateAborting {
+			t.state = StateReady
+			e.tracef("T%d disk released after wound; restart ready", t.ID())
+			e.reschedule()
+		}
+		return
+	}
+	t.ioReq = nil
+	t.ioDone = true
+	t.state = StateReady
+	e.tracef("T%d IO complete (item %d/%d)", t.ID(), t.next+1, len(t.Spec.Items))
+	e.emit(trace.Event{Kind: trace.IODone, Txn: t.ID(), Other: -1, Item: t.Spec.Items[t.next]})
+	e.reschedule()
+}
+
+func (e *Engine) onRollbackDone(t *Txn, cost time.Duration) {
+	e.note()
+	t.cpuEvent = nil
+	t.inRollback = false
+	e.run.CPUBusy += cost
+	e.run.RollbackTime += cost
+	e.proceedItem(t)
+	e.reschedule()
+}
+
+// applyUpdate performs the completed update's data operation against the
+// store (under the lock acquired at item start) and records it in the
+// history when recording is enabled.
+func (e *Engine) applyUpdate(t *Txn) {
+	item := t.Spec.Items[t.next]
+	read := len(t.Spec.Reads) > 0 && t.Spec.Reads[t.next]
+	if read {
+		e.store.Read(db.TxnID(t.ID()), item)
+	} else {
+		e.store.Write(db.TxnID(t.ID()), t.restarts, item)
+	}
+	if e.hist != nil {
+		kind := history.Write
+		if read {
+			kind = history.Read
+		}
+		e.hist.Add(t.ID(), item, kind, time.Duration(e.sim.Now()))
+	}
+}
+
+// --- transaction execution --------------------------------------------
+
+// startItem begins processing t's next update on its CPU: acquire the lock
+// (wounding or waiting per policy), then perform the disk access and the
+// computation.
+func (e *Engine) startItem(t *Txn) {
+	if t.next >= len(t.Spec.Items) {
+		e.commit(t)
+		return
+	}
+	if ap, isAP := e.policy.(admissionPolicy); isAP && !t.ceilingExempt {
+		if ok, _ := ap.admits(e, t); !ok {
+			// Ceiling-blocked mid-run (PCP): yield the CPU; dispatch
+			// re-evaluates admission at every scheduling point.
+			e.run.LockWaits++
+			e.tracef("T%d ceiling-blocked before item %d", t.ID(), t.Spec.Items[t.next])
+			t.state = StateReady
+			e.freeCPU(t)
+			e.requestReschedule()
+			return
+		}
+	}
+	t.ceilingExempt = false
+	item := t.Spec.Items[t.next]
+	mode := lock.Write
+	if len(t.Spec.Reads) > 0 && t.Spec.Reads[t.next] {
+		mode = lock.Read
+	}
+	var rollback time.Duration
+	for !e.lm.Acquire(lock.TxnID(t.ID()), item, mode) {
+		holders := e.lm.Conflicting(lock.TxnID(t.ID()), item, mode)
+		if len(holders) == 0 {
+			// Shared-lock corner: the grant is blocked not by a
+			// holder but by a queued writer (reader fairness) or by
+			// co-readers on an upgrade. Queue behind them. This can
+			// only happen under the waiting baselines — CCA never
+			// enqueues, so its queues are always empty.
+			e.block(t, item, mode)
+			return
+		}
+		woundAll := true
+		for _, h := range holders {
+			if !e.policy.Wounds(e, t, e.all[int(h)]) {
+				woundAll = false
+				break
+			}
+		}
+		if !woundAll {
+			e.block(t, item, mode)
+			return
+		}
+		for _, h := range holders {
+			v := e.all[int(h)]
+			rollback += e.rollbackCost(v)
+			e.tracef("T%d wounds T%d on item %d (victim service %.1fms)", t.ID(), v.ID(), item, ms(v.service))
+			e.emit(trace.Event{Kind: trace.Wound, Txn: t.ID(), Other: v.ID(), Item: item,
+				Priority: t.priority, OtherPriority: v.priority})
+			e.abort(v)
+		}
+	}
+	t.has.add(item)
+	if rollback > 0 {
+		// The wounding transaction's CPU performs the rollback before
+		// the update proceeds; the rollback section is not preemptable
+		// (it is system recovery work, a few ms at most).
+		t.inRollback = true
+		t.cpuEvent = e.sim.After(rollback, func() { e.onRollbackDone(t, rollback) })
+		return
+	}
+	e.proceedItem(t)
+}
+
+// proceedItem performs the disk access (if the update needs one and it has
+// not happened yet) and then the computation for the current update.
+func (e *Engine) proceedItem(t *Txn) {
+	if t.next < len(t.Spec.NeedsIO) && t.Spec.NeedsIO[t.next] && !t.ioDone {
+		req := &disk.Request{Priority: t.priority, Tag: t}
+		req.Done = func() { e.onIODone(t, req) }
+		t.ioReq = req
+		t.state = StateIOWait
+		e.freeCPU(t)
+		e.diskFor(t.Spec.Items[t.next]).Submit(req)
+		e.tracef("T%d blocks on IO (item %d/%d)", t.ID(), t.next+1, len(t.Spec.Items))
+		e.emit(trace.Event{Kind: trace.IOStart, Txn: t.ID(), Other: -1, Item: t.Spec.Items[t.next]})
+		e.requestReschedule()
+		return
+	}
+	t.remain = t.Spec.Compute
+	t.sliceStart = e.sim.Now()
+	t.cpuEvent = e.sim.After(t.remain, func() { e.onUpdateDone(t) })
+}
+
+// block suspends t on a data conflict (waiting baselines only).
+func (e *Engine) block(t *Txn, item txn.Item, mode lock.Mode) {
+	e.run.LockWaits++
+	t.state = StateLockWait
+	e.freeCPU(t)
+	e.lm.Enqueue(&lock.Request{Txn: lock.TxnID(t.ID()), Item: item, Mode: mode, Priority: t.priority})
+	e.tracef("T%d blocks on item %d", t.ID(), item)
+	e.emit(trace.Event{Kind: trace.Block, Txn: t.ID(), Other: -1, Item: item, Priority: t.priority})
+	if e.policy.Inherits() {
+		e.propagateInheritance(t)
+	}
+	// Deadlock detection runs for every policy that can block. Under
+	// EDF-HP and FCFS waits always point at strictly higher-priority
+	// holders, so no cycle can form (the integration tests assert the
+	// counter stays zero); under EDF-WP — and under LSF-HP, whose
+	// continuously re-evaluated priorities can invert a wait edge after
+	// it is created — cycles are possible and are resolved by aborting
+	// the lowest-priority member.
+	if cycle := e.lm.DetectCycle(lock.TxnID(t.ID())); len(cycle) > 0 {
+		e.resolveDeadlock(cycle)
+	}
+	e.requestReschedule()
+}
+
+// propagateInheritance floors the priority of every transaction t
+// transitively waits on at t's priority (Wait Promote).
+func (e *Engine) propagateInheritance(t *Txn) {
+	seen := make(map[int]bool)
+	var walk func(v *Txn)
+	walk = func(v *Txn) {
+		for _, h := range e.lm.WaitsFor(lock.TxnID(v.ID())) {
+			ht := e.all[int(h)]
+			if seen[ht.ID()] {
+				continue
+			}
+			seen[ht.ID()] = true
+			if t.priority > ht.inherited {
+				ht.inherited = t.priority
+			}
+			walk(ht)
+		}
+	}
+	walk(t)
+}
+
+// resolveDeadlock aborts the lowest-priority transaction on the cycle.
+func (e *Engine) resolveDeadlock(cycle []lock.TxnID) {
+	e.run.Deadlocks++
+	victim := e.all[int(cycle[0])]
+	for _, id := range cycle[1:] {
+		c := e.all[int(id)]
+		if less(victim, c) {
+			victim = c
+		}
+	}
+	e.tracef("deadlock: aborting T%d (cycle of %d)", victim.ID(), len(cycle))
+	e.emit(trace.Event{Kind: trace.Deadlock, Txn: victim.ID(), Other: -1, Item: -1})
+	e.abort(victim)
+}
+
+// commit finishes t: release its locks (waking granted waiters), record the
+// lateness statistics, and invoke the scheduler (tr-finish-schedule).
+func (e *Engine) commit(t *Txn) {
+	t.state = StateCommitted
+	t.finish = e.sim.Now()
+	e.freeCPU(t)
+	e.store.Commit(db.TxnID(t.ID()))
+	if e.hist != nil {
+		e.hist.Commit(t.ID(), time.Duration(t.finish))
+	}
+	e.wake(e.lm.ReleaseAll(lock.TxnID(t.ID())))
+	e.removeLive(t)
+	e.committed++
+	e.run.Observe(t.Spec.Class, t.Spec.Arrival, time.Duration(t.finish), t.Spec.Deadline)
+	if o, ok := e.policy.(commitObserver); ok {
+		o.observeCommit(e, t, time.Duration(t.finish) > t.Spec.Deadline)
+	}
+	e.run.Elapsed = time.Duration(t.finish)
+	e.tracef("T%d commits (lateness %.1fms, restarts %d)", t.ID(), ms(time.Duration(t.finish)-t.Spec.Deadline), t.restarts)
+	e.emit(trace.Event{Kind: trace.Commit, Txn: t.ID(), Other: -1, Item: -1, Priority: t.priority})
+	e.requestReschedule()
+	if !e.inReschedule {
+		e.reschedule()
+	}
+}
+
+// onDeadline fires at a transaction's deadline in firm mode: if it has not
+// committed, it is aborted and discarded — a late result has no value.
+func (e *Engine) onDeadline(t *Txn) {
+	if t.state == StateCommitted || t.state == StateDropped {
+		return
+	}
+	e.note()
+	e.drop(t)
+	e.reschedule()
+}
+
+// drop discards t (firm-deadline mode): everything it holds or waits for is
+// released, its effects are undone, and it never restarts.
+func (e *Engine) drop(t *Txn) {
+	e.tracef("T%d dropped at its deadline", t.ID())
+	e.detach(t)
+	e.store.Abort(db.TxnID(t.ID()))
+	if e.hist != nil {
+		e.hist.Abort(t.ID())
+	}
+	e.wake(e.lm.ReleaseAll(lock.TxnID(t.ID())))
+	t.cpuEvent = nil
+	t.ioReq = nil
+	t.has.clear()
+	t.state = StateDropped
+	e.removeLive(t)
+	e.dropped++
+	e.run.Dropped++
+	if o, ok := e.policy.(commitObserver); ok {
+		o.observeCommit(e, t, true)
+	}
+	now := time.Duration(e.sim.Now())
+	if now > e.run.Elapsed {
+		e.run.Elapsed = now
+	}
+	e.requestReschedule()
+}
+
+// detach cancels whatever v is currently doing (CPU slice, rollback
+// section, lock wait or disk access) without deciding its fate; abort and
+// drop share it.
+func (e *Engine) detach(v *Txn) {
+	switch v.state {
+	case StateRunning:
+		if v.inRollback {
+			elapsed := time.Duration(e.sim.Now() - v.sliceStart)
+			e.run.CPUBusy += elapsed
+			e.run.RollbackTime += elapsed
+			e.sim.Cancel(v.cpuEvent)
+			v.cpuEvent = nil
+			v.inRollback = false
+			e.freeCPU(v)
+			v.state = StateReady
+		} else {
+			e.preempt(v)
+		}
+	case StateLockWait:
+		granted, _ := e.lm.CancelWait(lock.TxnID(v.ID()))
+		e.wake(granted)
+	case StateIOWait:
+		if v.ioReq != nil && v.ioReq.Queued() {
+			e.diskFor(v.Spec.Items[v.next]).Cancel(v.ioReq)
+			v.ioReq = nil
+		}
+		// An in-service access keeps the disk busy; its completion is
+		// ignored via the stale-request check.
+	}
+}
+
+// abort wounds v: cancel whatever it is doing, release its locks, charge
+// the bookkeeping, and rewind it for restart. A victim whose disk access is
+// in service keeps the disk busy and completes its restart at IO
+// completion (paper §5).
+func (e *Engine) abort(v *Txn) {
+	if v.state == StateCommitted || v.state == StateAborting {
+		panic(fmt.Sprintf("core: aborting T%d in state %v", v.ID(), v.state))
+	}
+	e.run.Restarts++
+	e.run.WastedService += e.serviceNow(v)
+	if v.ranAsSecondary {
+		e.run.NoncontributingAborts++
+	}
+	v.restarts++
+
+	deferRestart := v.state == StateIOWait && v.ioReq != nil && v.ioReq.InService()
+	e.detach(v)
+	e.store.Abort(db.TxnID(v.ID()))
+	if e.hist != nil {
+		e.hist.Abort(v.ID())
+	}
+	e.wake(e.lm.ReleaseAll(lock.TxnID(v.ID())))
+	v.resetForRestart()
+	v.inherited = negInf
+	if deferRestart {
+		v.state = StateAborting
+	}
+	e.requestReschedule()
+}
+
+// preempt takes v off its CPU mid-computation, accruing the partial slice.
+func (e *Engine) preempt(v *Txn) {
+	if v.inRollback {
+		panic(fmt.Sprintf("core: preempting T%d during rollback", v.ID()))
+	}
+	if v.cpuEvent != nil {
+		e.sim.Cancel(v.cpuEvent)
+		v.cpuEvent = nil
+		elapsed := time.Duration(e.sim.Now() - v.sliceStart)
+		v.remain -= elapsed
+		v.service += elapsed
+		e.run.CPUBusy += elapsed
+	}
+	e.freeCPU(v)
+	v.state = StateReady
+}
+
+// wake transitions lock-grant recipients back to ready.
+func (e *Engine) wake(granted []*lock.Request) {
+	for _, g := range granted {
+		w := e.all[int(g.Txn)]
+		if w.state != StateLockWait {
+			panic(fmt.Sprintf("core: waking T%d in state %v", w.ID(), w.state))
+		}
+		w.has.add(g.Item)
+		w.state = StateReady
+		e.tracef("T%d granted item %d, wakes", w.ID(), g.Item)
+		e.emit(trace.Event{Kind: trace.Wake, Txn: w.ID(), Other: -1, Item: g.Item})
+	}
+}
+
+func (e *Engine) freeCPU(t *Txn) {
+	if t.cpu >= 0 {
+		e.slots[t.cpu] = nil
+		t.cpu = -1
+	}
+}
+
+func (e *Engine) removeLive(t *Txn) {
+	for i, v := range e.live {
+		if v == t {
+			e.live = append(e.live[:i], e.live[i+1:]...)
+			return
+		}
+	}
+}
+
+// --- scheduler ---------------------------------------------------------
+
+// less orders transactions for dispatch: higher criticality first, then
+// higher priority, then earlier arrival (lower ID) for determinism.
+func less(a, b *Txn) bool {
+	if a.Spec.Criticality != b.Spec.Criticality {
+		return a.Spec.Criticality > b.Spec.Criticality
+	}
+	if a.priority != b.priority {
+		return a.priority > b.priority
+	}
+	return a.ID() < b.ID()
+}
+
+// requestReschedule marks that the scheduler must run again; used by
+// transitions that happen inside a dispatch pass.
+func (e *Engine) requestReschedule() { e.rescheduleAgain = true }
+
+// reschedule is the single scheduling entry point, implementing the
+// paper's tr-arrival-schedule, tr-finish-schedule and IOwait-schedule with
+// one uniform rule:
+//
+//   - every live transaction's priority is re-evaluated (continuous
+//     evaluation);
+//   - the CPU(s) run the highest-priority dispatchable transactions, except
+//     that when the overall highest-priority transaction is blocked,
+//     policies with FiltersIOWait (CCA) only dispatch transactions that do
+//     not conflict with any partially executed transaction.
+//
+// Dispatching can immediately block the dispatched transaction (IO or lock
+// wait) or wound victims whose release wakes waiters, so the pass loops
+// until no transition happens.
+func (e *Engine) reschedule() {
+	if e.inReschedule {
+		e.rescheduleAgain = true
+		return
+	}
+	e.inReschedule = true
+	for pass := 0; ; pass++ {
+		if pass > 4*len(e.all)+64 {
+			panic("core: reschedule did not converge")
+		}
+		e.rescheduleAgain = false
+		e.dispatchPass()
+		if !e.rescheduleAgain {
+			break
+		}
+	}
+	e.inReschedule = false
+	if e.cfg.CheckInvariants {
+		e.checkInvariants()
+	}
+}
+
+func (e *Engine) dispatchPass() {
+	// Continuous evaluation.
+	for _, t := range e.live {
+		t.priority = e.policy.Evaluate(e, t)
+		if e.policy.Inherits() && t.inherited > t.priority {
+			t.priority = t.inherited
+		}
+	}
+
+	// The globally highest-priority live transaction (TH), whatever its
+	// state: the paper's invariant is that the CPU runs TH, or — if TH is
+	// blocked — under CCA only transactions compatible with the P-list.
+	var top *Txn
+	for _, t := range e.live {
+		if t.state == StateAborting {
+			continue
+		}
+		if top == nil || less(t, top) {
+			top = t
+		}
+	}
+	if top == nil {
+		return
+	}
+
+	// Dispatchable pool, best first.
+	var pool []*Txn
+	for _, t := range e.live {
+		if t.state == StateReady || (t.state == StateRunning && !t.inRollback) {
+			pool = append(pool, t)
+		}
+	}
+	sort.SliceStable(pool, func(i, j int) bool { return less(pool[i], pool[j]) })
+
+	// Choose the desired occupants.
+	slots := len(e.slots)
+	desired := make([]*Txn, 0, slots)
+	for _, t := range e.live {
+		if t.state == StateRunning && t.inRollback {
+			desired = append(desired, t) // pinned
+		}
+	}
+	filter := e.policy.FiltersIOWait()
+	admission, hasAdmission := e.policy.(admissionPolicy)
+	for _, c := range pool {
+		if len(desired) >= slots {
+			break
+		}
+		if c != top && filter && !e.compatible(c, desired) {
+			continue
+		}
+		if hasAdmission && c.state != StateRunning {
+			ok, changed := admission.admits(e, c)
+			if changed {
+				// Inheritance was applied: re-rank the pool so the
+				// promoted holder gets the CPU.
+				e.rescheduleAgain = true
+			}
+			if !ok {
+				continue // ceiling-blocked
+			}
+		}
+		desired = append(desired, c)
+	}
+
+	// Progress override for admission policies (PCP): classic PCP assumes
+	// no self-suspension and a static claim set, but disk IO suspends
+	// lock holders mid-region and new arrivals raise ceilings after
+	// entry, so two entered holders can end up mutually ceiling-blocked.
+	// When nothing at all is admitted, dispatch the best lock-holding
+	// candidate anyway; direct conflicts then resolve by inheritance
+	// waits, with the deadlock detector as backstop.
+	if hasAdmission && len(desired) == 0 && len(pool) > 0 {
+		best := pool[0]
+		for _, c := range pool {
+			if c.has.any() {
+				best = c
+				break
+			}
+		}
+		e.tracef("T%d dispatched by PCP progress override", best.ID())
+		best.ceilingExempt = true
+		desired = append(desired, best)
+	}
+
+	inDesired := func(t *Txn) bool {
+		for _, d := range desired {
+			if d == t {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Preempt running transactions that lost their slot.
+	for _, s := range e.slots {
+		if s != nil && !inDesired(s) {
+			e.tracef("T%d preempted", s.ID())
+			e.emit(trace.Event{Kind: trace.Preempt, Txn: s.ID(), Other: -1, Item: -1, Priority: s.priority})
+			e.preempt(s)
+		}
+	}
+
+	// Dispatch the rest onto free slots.
+	for _, d := range desired {
+		if d.state == StateRunning {
+			continue
+		}
+		slot := -1
+		for i, s := range e.slots {
+			if s == nil {
+				slot = i
+				break
+			}
+		}
+		if slot < 0 {
+			panic("core: no free CPU for desired transaction")
+		}
+		e.dispatch(d, slot, d != top && blocked(top))
+		if d.state != StateRunning {
+			// The dispatch immediately blocked or committed; the
+			// pass must be recomputed.
+			return
+		}
+	}
+}
+
+// blocked reports whether the globally top transaction cannot use a CPU.
+func blocked(top *Txn) bool {
+	return top.state == StateIOWait || top.state == StateLockWait
+}
+
+// compatible reports whether c conflicts with no partially executed
+// transaction (the IOwait-schedule admission test) and, on a
+// multiprocessor, with no already-chosen peer.
+func (e *Engine) compatible(c *Txn, desired []*Txn) bool {
+	for _, p := range e.live {
+		if p != c && p.PartiallyExecuted() && p.might.intersects(c.might) {
+			return false
+		}
+	}
+	for _, d := range desired {
+		if d != c && d.might.intersects(c.might) {
+			return false
+		}
+	}
+	return true
+}
+
+// dispatch puts t on a CPU and resumes or starts its work.
+func (e *Engine) dispatch(t *Txn, slot int, asSecondary bool) {
+	t.state = StateRunning
+	t.cpu = slot
+	e.slots[slot] = t
+	if asSecondary {
+		t.ranAsSecondary = true
+		e.tracef("T%d dispatched as secondary", t.ID())
+	}
+	e.emit(trace.Event{Kind: trace.Dispatch, Txn: t.ID(), Other: -1, Item: -1,
+		Priority: t.priority, Secondary: asSecondary})
+	if t.remain > 0 {
+		// Resume the interrupted computation.
+		t.sliceStart = e.sim.Now()
+		t.cpuEvent = e.sim.After(t.remain, func() { e.onUpdateDone(t) })
+		return
+	}
+	e.startItem(t)
+}
+
+// --- invariants ---------------------------------------------------------
+
+// checkInvariants asserts engine-wide consistency; it is enabled by
+// Config.CheckInvariants and exercised heavily by the test suite. The
+// checks encode the paper's theorems: no lock waits under CCA (Theorem 1:
+// deadlock freedom via no-wait) and wound edges only from higher to lower
+// priority under the HP baselines.
+func (e *Engine) checkInvariants() {
+	e.lm.CheckInvariants()
+	occupied := make(map[int]bool)
+	for i, s := range e.slots {
+		if s == nil {
+			continue
+		}
+		if s.state != StateRunning {
+			panic(fmt.Sprintf("core: slot %d occupant T%d in state %v", i, s.ID(), s.state))
+		}
+		if s.cpu != i {
+			panic(fmt.Sprintf("core: slot %d occupant T%d thinks it is on %d", i, s.ID(), s.cpu))
+		}
+		if occupied[s.ID()] {
+			panic(fmt.Sprintf("core: T%d on two CPUs", s.ID()))
+		}
+		occupied[s.ID()] = true
+	}
+	for _, t := range e.live {
+		switch t.state {
+		case StateRunning:
+			if t.cpu < 0 || e.slots[t.cpu] != t {
+				panic(fmt.Sprintf("core: running T%d not on its slot", t.ID()))
+			}
+		case StateReady, StateIOWait, StateLockWait, StateAborting:
+			if t.cpu >= 0 {
+				panic(fmt.Sprintf("core: non-running T%d holds CPU %d", t.ID(), t.cpu))
+			}
+		case StateCommitted:
+			panic(fmt.Sprintf("core: committed T%d still live", t.ID()))
+		}
+		if t.state == StateLockWait && e.policy.Kind() == CCA {
+			panic("core: Theorem 1 violated — lock wait under CCA")
+		}
+		if t.state == StateAborting && t.has.any() {
+			panic(fmt.Sprintf("core: aborting T%d still holds items", t.ID()))
+		}
+		// The hasaccessed bitset mirrors the lock table exactly.
+		held := e.lm.HeldBy(lock.TxnID(t.ID()))
+		if len(held) != t.has.count() {
+			panic(fmt.Sprintf("core: T%d bitset has %d items but holds %d locks", t.ID(), t.has.count(), len(held)))
+		}
+		for _, it := range held {
+			if !t.has.contains(it) {
+				panic(fmt.Sprintf("core: T%d holds lock on %d missing from bitset", t.ID(), it))
+			}
+		}
+		// Pending store writes never exceed processed updates.
+		if e.store.Pending(db.TxnID(t.ID())) > t.next {
+			panic(fmt.Sprintf("core: T%d has %d pending writes after %d updates", t.ID(), e.store.Pending(db.TxnID(t.ID())), t.next))
+		}
+	}
+	if e.policy.Kind() == CCA && e.run.LockWaits > 0 {
+		panic("core: Theorem 1 violated — CCA recorded lock waits")
+	}
+	// With exclusive locks only, EDF-HP/FCFS waits always point at
+	// strictly higher-priority holders, so cycles are impossible. Shared
+	// locks break the argument: a requester facing mixed-priority
+	// co-holders waits on the lower-priority ones too, and such waits can
+	// cycle — a genuine (and resolved) deadlock, not an engine bug.
+	if !e.hasReads && (e.policy.Kind() == EDFHP || e.policy.Kind() == FCFS) && e.run.Deadlocks > 0 {
+		panic("core: deadlock under a static-priority HP policy with exclusive locks")
+	}
+}

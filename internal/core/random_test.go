@@ -1,0 +1,197 @@
+package core
+
+// Randomised workload property tests: arbitrary hand-built spec lists
+// (random items, IO patterns, read/write mixes, criticalities, bursty
+// arrivals) must drain under every policy with invariants on, produce
+// serializable histories, and leave a database state equal to the last
+// committed writers.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// genRandomWorkload builds a structurally valid but adversarial workload:
+// clustered items, occasional zero-slack deadlines, random IO and read
+// flags, bursts of simultaneous-ish arrivals.
+func genRandomWorkload(rng *rand.Rand, dbSize, count int, withIO bool) *workload.Workload {
+	p := workload.BaseMainMemory()
+	p.DBSize = dbSize
+	p.Count = count
+	if withIO {
+		p.DiskAccessProb = 0.2
+		p.DiskAccessTime = 10 * time.Millisecond
+	}
+	wl := &workload.Workload{Params: p}
+	var arrival time.Duration
+	for i := 0; i < count; i++ {
+		if rng.Intn(4) > 0 { // 25% of txns arrive simultaneously with predecessor
+			arrival += time.Duration(rng.ExpFloat64() * float64(30*time.Millisecond))
+		}
+		n := 1 + rng.Intn(6)
+		seen := map[int]bool{}
+		var items []txn.Item
+		for len(items) < n {
+			// Cluster around a hot region half the time.
+			var v int
+			if rng.Intn(2) == 0 {
+				v = rng.Intn(dbSize / 3)
+			} else {
+				v = rng.Intn(dbSize)
+			}
+			if !seen[v] {
+				seen[v] = true
+				items = append(items, txn.Item(v))
+			}
+		}
+		s := workload.Spec{
+			ID:      i,
+			Arrival: arrival,
+			Items:   items,
+			Compute: time.Duration(1+rng.Intn(5)) * time.Millisecond,
+		}
+		if withIO {
+			s.NeedsIO = make([]bool, n)
+			for j := range s.NeedsIO {
+				s.NeedsIO[j] = rng.Intn(5) == 0
+			}
+		}
+		if rng.Intn(3) == 0 {
+			s.Reads = make([]bool, n)
+			for j := range s.Reads {
+				s.Reads[j] = rng.Intn(2) == 0
+			}
+		}
+		if rng.Intn(5) == 0 {
+			s.Criticality = rng.Intn(3)
+		}
+		res := s.ResourceTime(p.DiskAccessTime)
+		slack := 1.0 + rng.Float64()*8 // occasionally nearly zero slack
+		if rng.Intn(8) == 0 {
+			slack = 1.0001
+		}
+		s.Deadline = s.Arrival + time.Duration(float64(res)*slack)
+		wl.Txns = append(wl.Txns, s)
+	}
+	return wl
+}
+
+// TestQuickRandomWorkloadsDrainSerializable: the heavyweight end-to-end
+// property — every policy, random adversarial workloads, invariants on,
+// serializability checked, final state matched against the history.
+func TestQuickRandomWorkloadsDrainSerializable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	pols := Policies()
+	f := func(seed int64, polQ uint8, ioQ bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pol := pols[int(polQ)%len(pols)]
+		if pol == PCP && ioQ {
+			pol = EDFHP // PCP is main-memory only
+		}
+		wl := genRandomWorkload(rng, 40, 60, ioQ)
+		cfg := MainMemoryConfig(pol, seed)
+		cfg.Workload = wl.Params
+		cfg.CheckInvariants = true
+		cfg.RecordHistory = true
+		e, err := NewWithWorkload(cfg, wl)
+		if err != nil {
+			return false
+		}
+		res, err := e.Run()
+		if err != nil || res.Committed != 60 {
+			return false
+		}
+		if ok, _ := e.History().Serializable(); !ok {
+			return false
+		}
+		// Final store state matches the last committed writer per item.
+		last := map[txn.Item]int{}
+		for _, op := range e.History().Ops() {
+			if op.Kind == 1 {
+				last[op.Item] = op.Txn
+			}
+		}
+		for it := 0; it < 40; it++ {
+			v := e.Store().Get(txn.Item(it))
+			if w, ok := last[txn.Item(it)]; ok {
+				if int(v.Writer) != w {
+					return false
+				}
+			} else if v.Writer != -1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRandomWorkloadsFirmMode: as above under firm deadlines
+// (commit + dropped must account for every transaction).
+func TestQuickRandomWorkloadsFirmMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	pols := Policies()
+	f := func(seed int64, polQ uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pol := pols[int(polQ)%len(pols)]
+		if pol == PCP {
+			pol = EDFHP // PCP is main-memory only (workload has IO)
+		}
+		wl := genRandomWorkload(rng, 30, 50, true)
+		cfg := MainMemoryConfig(pol, seed)
+		cfg.Workload = wl.Params
+		cfg.FirmDeadlines = true
+		cfg.CheckInvariants = true
+		cfg.RecordHistory = true
+		e, err := NewWithWorkload(cfg, wl)
+		if err != nil {
+			return false
+		}
+		res, err := e.Run()
+		if err != nil || res.Committed+res.Dropped != 50 {
+			return false
+		}
+		ok, _ := e.History().Serializable()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRandomMultiprocessor: random workloads on 2-3 CPUs and 2 disks.
+func TestQuickRandomMultiprocessor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := func(seed int64, cpuQ, polQ uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		wl := genRandomWorkload(rng, 60, 40, true)
+		pols := []PolicyKind{CCA, EDFHP, EDFWP}
+		cfg := MainMemoryConfig(pols[int(polQ)%len(pols)], seed)
+		cfg.Workload = wl.Params
+		cfg.NumCPUs = 2 + int(cpuQ%2)
+		cfg.NumDisks = 2
+		cfg.CheckInvariants = true
+		e, err := NewWithWorkload(cfg, wl)
+		if err != nil {
+			return false
+		}
+		res, err := e.Run()
+		return err == nil && res.Committed == 40
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/disk"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// State is a transaction's lifecycle state inside the engine.
+type State int
+
+const (
+	// StateReady: runnable, waiting for a CPU.
+	StateReady State = iota
+	// StateRunning: occupying a CPU.
+	StateRunning
+	// StateIOWait: blocked on a disk access.
+	StateIOWait
+	// StateLockWait: blocked on a data conflict (waiting baselines only;
+	// never entered under CCA — Theorem 1).
+	StateLockWait
+	// StateAborting: wounded while its disk access was in service; the
+	// restart completes when the disk is released (paper §5).
+	StateAborting
+	// StateCommitted: finished.
+	StateCommitted
+	// StateDropped: discarded at its deadline (firm-deadline mode only).
+	StateDropped
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateReady:
+		return "ready"
+	case StateRunning:
+		return "running"
+	case StateIOWait:
+		return "io-wait"
+	case StateLockWait:
+		return "lock-wait"
+	case StateAborting:
+		return "aborting"
+	case StateCommitted:
+		return "committed"
+	case StateDropped:
+		return "dropped"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Txn is the runtime representation of one transaction instance.
+type Txn struct {
+	// Spec is the generated workload description (items, deadline, ...).
+	Spec *workload.Spec
+
+	state State
+	// next indexes the update currently being processed.
+	next int
+	// remain is the CPU time left in the current update's computation
+	// (> 0 when resuming after preemption mid-update).
+	remain time.Duration
+	// ioDone records that the current update's disk access has completed.
+	ioDone bool
+	// service is the accumulated effective service time (CPU work that
+	// an abort would throw away).
+	service time.Duration
+	// restarts counts aborts of this transaction.
+	restarts int
+	// inRollback pins the transaction to its CPU while it performs
+	// rollback work on behalf of wounded victims.
+	inRollback bool
+	// ranAsSecondary records that the transaction was ever dispatched
+	// while a higher-priority transaction was blocked (for the
+	// noncontributing-execution statistic).
+	ranAsSecondary bool
+	// ceilingExempt is a one-shot pass around a ceiling-admission check,
+	// set by the PCP progress override (see dispatchPass) and consumed
+	// by the next startItem.
+	ceilingExempt bool
+
+	sliceStart sim.Time
+	cpuEvent   *sim.Event
+	ioReq      *disk.Request
+	cpu        int // CPU slot while running, -1 otherwise
+
+	// might is the current might-access set: mightFull before the
+	// decision point, mightNarrow after it (flat transactions use a
+	// single set throughout).
+	might bitset
+	// mightFull is the pessimistic pre-decision might-access set.
+	mightFull bitset
+	// mightNarrow is the post-decision might-access set (the executed
+	// path); nil for flat transactions.
+	mightNarrow bitset
+	// has is the set of items accessed (locked) so far.
+	has bitset
+
+	// priority is the value from the last continuous-evaluation pass
+	// (higher runs first).
+	priority float64
+	// inherited is the floor priority received from waiters under the
+	// Wait Promote baseline.
+	inherited float64
+
+	finish sim.Time
+}
+
+// ID returns the transaction instance ID.
+func (t *Txn) ID() int { return t.Spec.ID }
+
+// State returns the lifecycle state.
+func (t *Txn) State() State { return t.state }
+
+// Deadline returns the absolute deadline.
+func (t *Txn) Deadline() time.Duration { return t.Spec.Deadline }
+
+// ServiceTime returns the accumulated effective service time.
+func (t *Txn) ServiceTime() time.Duration { return t.service }
+
+// Restarts returns how many times the transaction was aborted.
+func (t *Txn) Restarts() int { return t.restarts }
+
+// Priority returns the last evaluated scheduling priority.
+func (t *Txn) Priority() float64 { return t.priority }
+
+// PartiallyExecuted reports whether the transaction belongs to the paper's
+// P-list: it has accessed at least one data item and has not committed.
+func (t *Txn) PartiallyExecuted() bool {
+	return t.state != StateCommitted && t.has.any()
+}
+
+// remainingStatic returns the isolated CPU time still needed (the engine's
+// LSF slack estimate).
+func (t *Txn) remainingStatic() time.Duration {
+	rem := t.remain
+	if t.remain == 0 && t.next < len(t.Spec.Items) && t.state != StateCommitted {
+		// The current update's compute has not started.
+		rem = t.Spec.Compute
+	}
+	if t.next < len(t.Spec.Items) {
+		rem += time.Duration(len(t.Spec.Items)-t.next-1) * t.Spec.Compute
+	}
+	return rem
+}
+
+// resetForRestart rewinds the transaction to its beginning after an abort.
+// The deadline, item list and IO draws are unchanged: the paper's soft
+// real-time model re-executes the same transaction.
+func (t *Txn) resetForRestart() {
+	t.next = 0
+	t.remain = 0
+	t.ioDone = false
+	t.service = 0
+	t.inRollback = false
+	t.ranAsSecondary = false
+	t.ceilingExempt = false
+	t.has.clear()
+	if t.mightNarrow != nil {
+		// A restarted transaction is back before its decision point:
+		// its access set is pessimistic again.
+		t.might = t.mightFull
+	}
+	t.cpuEvent = nil
+	t.ioReq = nil
+	t.cpu = -1
+	t.state = StateReady
+}

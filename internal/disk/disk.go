@@ -1,0 +1,228 @@
+// Package disk models the single disk of the paper's disk-resident
+// configuration (§5): a queueing server with a fixed access time, FCFS
+// service order, and the paper's cancellation semantics — a request still in
+// the queue when its transaction aborts is removed immediately, while a
+// request already in service occupies the disk until it completes.
+//
+// A priority (EDF-ordered) queue discipline is also provided; the paper
+// cites real-time IO scheduling as related work, and the ablation benchmarks
+// use it to quantify how much of CCA's win survives a smarter disk.
+package disk
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Discipline selects the service order of queued requests.
+type Discipline int
+
+const (
+	// FCFS serves requests in arrival order (the paper's model).
+	FCFS Discipline = iota
+	// Priority serves the highest-priority queued request first
+	// (ablation; priority is supplied per request, e.g. -deadline).
+	Priority
+)
+
+// String names the discipline.
+func (d Discipline) String() string {
+	if d == Priority {
+		return "priority"
+	}
+	return "fcfs"
+}
+
+// Request is one disk access.
+type Request struct {
+	// Done is invoked at completion, in simulated time. It is not called
+	// for cancelled requests.
+	Done func()
+	// Priority orders the queue under the Priority discipline
+	// (higher first); ignored under FCFS.
+	Priority float64
+	// Tag is opaque caller context (the engine stores the transaction).
+	Tag any
+
+	seq       uint64
+	queued    bool
+	inService bool
+	cancelled bool
+}
+
+// InService reports whether the request is currently being served.
+func (r *Request) InService() bool { return r.inService }
+
+// Queued reports whether the request is waiting in the disk queue.
+func (r *Request) Queued() bool { return r.queued }
+
+// Disk is a single-server queueing model of a disk.
+type Disk struct {
+	sim        *sim.Simulator
+	accessTime time.Duration
+	discipline Discipline
+
+	queue   []*Request
+	current *Request
+	seq     uint64
+
+	busySince  sim.Time
+	busyTotal  time.Duration
+	served     int
+	cancelled  int
+	maxQueue   int
+	queuedArea float64 // integral of queue length over time, for stats
+	lastChange sim.Time
+}
+
+// New returns an idle disk with the given per-access service time.
+func New(s *sim.Simulator, accessTime time.Duration, d Discipline) *Disk {
+	if accessTime <= 0 {
+		panic(fmt.Sprintf("disk: access time %v <= 0", accessTime))
+	}
+	return &Disk{sim: s, accessTime: accessTime, discipline: d}
+}
+
+// AccessTime returns the per-request service time.
+func (d *Disk) AccessTime() time.Duration { return d.accessTime }
+
+// Busy reports whether a request is in service.
+func (d *Disk) Busy() bool { return d.current != nil }
+
+// QueueLen returns the number of waiting (not in-service) requests.
+func (d *Disk) QueueLen() int { return len(d.queue) }
+
+// Served returns the number of completed requests.
+func (d *Disk) Served() int { return d.served }
+
+// Cancelled returns the number of requests cancelled while queued.
+func (d *Disk) Cancelled() int { return d.cancelled }
+
+// MaxQueueLen returns the high-water mark of the wait queue.
+func (d *Disk) MaxQueueLen() int { return d.maxQueue }
+
+// BusyTime returns the cumulative time the disk has spent serving requests.
+func (d *Disk) BusyTime() time.Duration {
+	t := d.busyTotal
+	if d.current != nil {
+		t += time.Duration(d.sim.Now() - d.busySince)
+	}
+	return t
+}
+
+// Utilization returns BusyTime divided by elapsed simulated time.
+func (d *Disk) Utilization() float64 {
+	now := d.sim.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(d.BusyTime()) / float64(now)
+}
+
+func (d *Disk) noteQueueChange() {
+	now := d.sim.Now()
+	d.queuedArea += float64(len(d.queue)) * float64(now-d.lastChange)
+	d.lastChange = now
+	if len(d.queue) > d.maxQueue {
+		d.maxQueue = len(d.queue)
+	}
+}
+
+// MeanQueueLen returns the time-averaged wait-queue length.
+func (d *Disk) MeanQueueLen() float64 {
+	now := d.sim.Now()
+	if now == 0 {
+		return 0
+	}
+	area := d.queuedArea + float64(len(d.queue))*float64(now-d.lastChange)
+	return area / float64(now)
+}
+
+// Submit enqueues a request, starting service immediately if the disk is
+// idle. Submitting the same request twice, or a request with no Done
+// callback, panics.
+func (d *Disk) Submit(r *Request) {
+	if r.Done == nil {
+		panic("disk: request without Done callback")
+	}
+	if r.queued || r.inService || r.cancelled {
+		panic("disk: request resubmitted")
+	}
+	r.seq = d.seq
+	d.seq++
+	if d.current == nil {
+		d.startService(r)
+		return
+	}
+	d.noteQueueChange()
+	r.queued = true
+	d.queue = append(d.queue, r)
+	if len(d.queue) > d.maxQueue {
+		d.maxQueue = len(d.queue)
+	}
+}
+
+// Cancel removes a request that is still waiting in the queue. It reports
+// whether the request was removed; a request in service cannot be cancelled
+// (the disk stays busy until it completes, per the paper), but its Done
+// callback is suppressed.
+func (d *Disk) Cancel(r *Request) bool {
+	if r.inService {
+		r.cancelled = true // suppress Done; service runs to completion
+		return false
+	}
+	if !r.queued {
+		return false
+	}
+	d.noteQueueChange()
+	for i, q := range d.queue {
+		if q == r {
+			d.queue = append(d.queue[:i], d.queue[i+1:]...)
+			break
+		}
+	}
+	r.queued = false
+	r.cancelled = true
+	d.cancelled++
+	return true
+}
+
+func (d *Disk) startService(r *Request) {
+	r.queued = false
+	r.inService = true
+	d.current = r
+	d.busySince = d.sim.Now()
+	d.sim.After(d.accessTime, func() { d.complete(r) })
+}
+
+func (d *Disk) complete(r *Request) {
+	d.busyTotal += time.Duration(d.sim.Now() - d.busySince)
+	r.inService = false
+	d.current = nil
+	d.served++
+	d.startNext()
+	if !r.cancelled {
+		r.Done()
+	}
+}
+
+func (d *Disk) startNext() {
+	if len(d.queue) == 0 {
+		return
+	}
+	d.noteQueueChange()
+	best := 0
+	if d.discipline == Priority {
+		for i := 1; i < len(d.queue); i++ {
+			q, b := d.queue[i], d.queue[best]
+			if q.Priority > b.Priority || (q.Priority == b.Priority && q.seq < b.seq) {
+				best = i
+			}
+		}
+	}
+	r := d.queue[best]
+	d.queue = append(d.queue[:best], d.queue[best+1:]...)
+	d.startService(r)
+}

@@ -1,0 +1,186 @@
+// Package experiment defines and runs the paper's evaluation: one
+// Definition per parameter sweep, each rendering the tables/series of the
+// figures it reproduces (Figures 4.a–4.f and 5.a–5.f, plus the Table 1/2
+// parameter listings and this repository's extension ablations).
+//
+// Runs fan out over a goroutine worker pool — the simulator itself is
+// single-threaded and deterministic per seed, so experiments use every core
+// while results stay exactly reproducible.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/plot"
+	"repro/internal/report"
+)
+
+// Variant is one curve of a figure: a name ("EDF-HP", "CCA", "5 TPS") and a
+// config builder evaluated at each sweep point.
+type Variant struct {
+	Name      string
+	Configure func(x float64, seed int64) core.Config
+}
+
+// Figure renders one paper figure (or table) from a completed sweep.
+type Figure struct {
+	ID     string
+	Title  string
+	Render func(def *Definition, r *Result) *report.Table
+	// Plot, when set, renders the figure as an ASCII chart in addition
+	// to the table (the terminal equivalent of the paper's graphs).
+	Plot func(def *Definition, r *Result) *plot.Chart
+}
+
+// Definition is one parameter sweep reproducing one or more figures.
+type Definition struct {
+	ID       string
+	Title    string
+	XLabel   string
+	Xs       []float64
+	Seeds    int
+	Variants []Variant
+	Figures  []Figure
+}
+
+// Result holds the aggregated metrics of a sweep: Agg[xi][vi] aggregates
+// Seeds runs of variant vi at sweep point xi.
+type Result struct {
+	Def *Definition
+	Agg [][]*metrics.Aggregate
+}
+
+// Options tune a run without changing what it measures.
+type Options struct {
+	// Seeds overrides the definition's seed count (0 keeps it).
+	Seeds int
+	// Count overrides the per-run transaction count (0 keeps the
+	// config's; used by tests and benchmarks to shrink runs).
+	Count int
+	// Workers bounds the worker pool (0 = GOMAXPROCS).
+	Workers int
+	// Progress, if set, receives (done, total) after every finished run.
+	Progress func(done, total int)
+}
+
+// Run executes the sweep and aggregates per (point, variant).
+func Run(def Definition, opt Options) (*Result, error) {
+	seeds := def.Seeds
+	if opt.Seeds > 0 {
+		seeds = opt.Seeds
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type job struct {
+		xi, vi int
+		seed   int64
+	}
+	type outcome struct {
+		job
+		res metrics.Result
+		err error
+	}
+
+	var jobs []job
+	for xi := range def.Xs {
+		for vi := range def.Variants {
+			for s := 1; s <= seeds; s++ {
+				jobs = append(jobs, job{xi: xi, vi: vi, seed: int64(s)})
+			}
+		}
+	}
+
+	jobCh := make(chan job)
+	outCh := make(chan outcome, len(jobs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				cfg := def.Variants[j.vi].Configure(def.Xs[j.xi], j.seed)
+				if opt.Count > 0 {
+					cfg.Workload.Count = opt.Count
+				}
+				var res metrics.Result
+				e, err := core.New(cfg)
+				if err == nil {
+					res, err = e.Run()
+				}
+				outCh <- outcome{job: j, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		for _, j := range jobs {
+			jobCh <- j
+		}
+		close(jobCh)
+		wg.Wait()
+		close(outCh)
+	}()
+
+	// Collect by seed so aggregation order is deterministic.
+	bySeed := make([][][]metrics.Result, len(def.Xs))
+	for xi := range bySeed {
+		bySeed[xi] = make([][]metrics.Result, len(def.Variants))
+		for vi := range bySeed[xi] {
+			bySeed[xi][vi] = make([]metrics.Result, seeds)
+		}
+	}
+	done := 0
+	for o := range outCh {
+		if o.err != nil {
+			return nil, fmt.Errorf("experiment %s: %s at %s=%v seed %d: %w",
+				def.ID, def.Variants[o.vi].Name, def.XLabel, def.Xs[o.xi], o.seed, o.err)
+		}
+		bySeed[o.xi][o.vi][o.seed-1] = o.res
+		done++
+		if opt.Progress != nil {
+			opt.Progress(done, len(jobs))
+		}
+	}
+
+	r := &Result{Def: &def, Agg: make([][]*metrics.Aggregate, len(def.Xs))}
+	for xi := range def.Xs {
+		r.Agg[xi] = make([]*metrics.Aggregate, len(def.Variants))
+		for vi := range def.Variants {
+			agg := &metrics.Aggregate{}
+			for s := 0; s < seeds; s++ {
+				agg.Add(bySeed[xi][vi][s])
+			}
+			r.Agg[xi][vi] = agg
+		}
+	}
+	return r, nil
+}
+
+// Summary returns the across-seed mean result at a sweep point/variant.
+func (r *Result) Summary(xi, vi int) metrics.Result { return r.Agg[xi][vi].Summary() }
+
+// Tables renders every figure of the definition.
+func (r *Result) Tables() []*report.Table {
+	out := make([]*report.Table, 0, len(r.Def.Figures))
+	for _, f := range r.Def.Figures {
+		out = append(out, f.Render(r.Def, r))
+	}
+	return out
+}
+
+// Charts renders every figure that defines a chart.
+func (r *Result) Charts() []*plot.Chart {
+	var out []*plot.Chart
+	for _, f := range r.Def.Figures {
+		if f.Plot != nil {
+			out = append(out, f.Plot(r.Def, r))
+		}
+	}
+	return out
+}

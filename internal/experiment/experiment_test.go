@@ -1,0 +1,205 @@
+package experiment
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func findDef(t *testing.T, id string) Definition {
+	t.Helper()
+	d, ok := ByID(id)
+	if !ok {
+		t.Fatalf("definition %q not found", id)
+	}
+	return d
+}
+
+func TestRegistryCoversEveryPaperFigure(t *testing.T) {
+	want := []string{"4a", "4b", "4c", "4d", "4e", "4f", "5a", "5b", "5c", "5d", "5e", "5f"}
+	have := map[string]bool{}
+	for _, d := range All() {
+		for _, f := range d.Figures {
+			if have[f.ID] {
+				t.Errorf("figure %s defined twice", f.ID)
+			}
+			have[f.ID] = true
+		}
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("paper figure %s missing from registry", id)
+		}
+	}
+}
+
+func TestByIDResolvesFiguresAndSweeps(t *testing.T) {
+	if d := findDef(t, "mm-rate"); d.ID != "mm-rate" {
+		t.Error("sweep lookup failed")
+	}
+	if d := findDef(t, "4c"); d.ID != "mm-rate" {
+		t.Errorf("figure 4c resolved to %s", d.ID)
+	}
+	if d := findDef(t, "fig5b"); d.ID != "disk-rate" {
+		t.Errorf("fig5b resolved to %s", d.ID)
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown ID resolved")
+	}
+}
+
+func TestDefinitionsWellFormed(t *testing.T) {
+	for _, d := range All() {
+		if d.ID == "" || d.Title == "" || len(d.Xs) == 0 || d.Seeds <= 0 || len(d.Variants) == 0 || len(d.Figures) == 0 {
+			t.Errorf("definition %q incomplete", d.ID)
+		}
+		for _, v := range d.Variants {
+			cfg := v.Configure(d.Xs[0], 1)
+			if err := cfg.Validate(); err != nil {
+				t.Errorf("%s/%s: invalid config at x=%v: %v", d.ID, v.Name, d.Xs[0], err)
+			}
+		}
+	}
+}
+
+func TestRunSmallSweep(t *testing.T) {
+	def := findDef(t, "mm-rate")
+	def.Xs = []float64{2, 8}
+	var progressed int
+	r, err := Run(def, Options{Seeds: 3, Count: 120, Progress: func(done, total int) { progressed = done }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if progressed != 2*2*3 {
+		t.Errorf("progress reported %d, want 12", progressed)
+	}
+	if len(r.Agg) != 2 || len(r.Agg[0]) != 2 {
+		t.Fatalf("aggregate shape wrong")
+	}
+	if r.Agg[0][0].N() != 3 {
+		t.Fatalf("seeds aggregated = %d, want 3", r.Agg[0][0].N())
+	}
+	tables := r.Tables()
+	if len(tables) != len(def.Figures) {
+		t.Fatalf("rendered %d tables, want %d", len(tables), len(def.Figures))
+	}
+	// Figure 4.a table: x column plus (value, CI) per variant.
+	txt := tables[0].Text()
+	if !strings.Contains(txt, "EDF-HP miss%") || !strings.Contains(txt, "CCA miss%") {
+		t.Errorf("figure 4.a table malformed:\n%s", txt)
+	}
+}
+
+func TestRunDeterministicAggregation(t *testing.T) {
+	def := findDef(t, "mm-rate")
+	def.Xs = []float64{6}
+	a, err := Run(def, Options{Seeds: 3, Count: 100, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(def, Options{Seeds: 3, Count: 100, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Summary(0, 0), b.Summary(0, 0)) || !reflect.DeepEqual(a.Summary(0, 1), b.Summary(0, 1)) {
+		t.Fatal("worker count changed aggregated results")
+	}
+}
+
+func TestRunPropagatesEngineErrors(t *testing.T) {
+	def := Definition{
+		ID: "bad", Title: "bad", XLabel: "x", Xs: []float64{1}, Seeds: 1,
+		Variants: []Variant{{Name: "b", Configure: func(x float64, seed int64) core.Config {
+			return core.Config{} // invalid: fails validation
+		}}},
+	}
+	if _, err := Run(def, Options{}); err == nil {
+		t.Fatal("invalid config did not propagate an error")
+	} else if !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("error lacks experiment context: %v", err)
+	}
+}
+
+func TestTable1Table2(t *testing.T) {
+	t1 := Table1().Text()
+	for _, want := range []string{"Transaction type", "50", "(20, 10)", "Database size", "30", "12.50"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, t1)
+		}
+	}
+	t2 := Table2().Text()
+	for _, want := range []string{"Disk access time", "25", "1/10", "Abort cost", "5"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table 2 missing %q:\n%s", want, t2)
+		}
+	}
+}
+
+func TestSeqHelper(t *testing.T) {
+	xs := seq(1, 3, 1)
+	if len(xs) != 3 || xs[0] != 1 || xs[2] != 3 {
+		t.Fatalf("seq = %v", xs)
+	}
+	xs = seq(0.2, 1.8, 0.2)
+	if len(xs) != 9 {
+		t.Fatalf("fractional seq length = %d, want 9", len(xs))
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(4) != "4" {
+		t.Error("integer not trimmed")
+	}
+	if trimFloat(0.2) != "0.2" {
+		t.Errorf("trimFloat(0.2) = %q", trimFloat(0.2))
+	}
+}
+
+func TestChartsRendered(t *testing.T) {
+	def := findDef(t, "mm-rate")
+	def.Xs = []float64{4, 8}
+	r, err := Run(def, Options{Seeds: 2, Count: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	charts := r.Charts()
+	if len(charts) != len(def.Figures) {
+		t.Fatalf("rendered %d charts, want %d (every mm-rate figure defines one)", len(charts), len(def.Figures))
+	}
+	out := charts[0].Render()
+	for _, want := range []string{"EDF-HP", "CCA", "x: rate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 4.a chart missing %q:\n%s", want, out)
+		}
+	}
+	// The improvement chart (figure 4.b) has its own two series.
+	imp := charts[1].Render()
+	if !strings.Contains(imp, "miss% improvement") || !strings.Contains(imp, "lateness improvement") {
+		t.Errorf("improvement chart malformed:\n%s", imp)
+	}
+}
+
+func TestClassTableRendered(t *testing.T) {
+	def := findDef(t, "mm-variance")
+	def.Xs = []float64{1.0}
+	r, err := Run(def, Options{Seeds: 2, Count: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var classTbl string
+	for i, f := range def.Figures {
+		if f.ID == "4class" {
+			classTbl = r.Tables()[i].Text()
+		}
+	}
+	if classTbl == "" {
+		t.Fatal("4class figure missing from mm-variance")
+	}
+	for _, want := range []string{"EDF-HP c0 miss%", "CCA c2 miss%"} {
+		if !strings.Contains(classTbl, want) {
+			t.Errorf("class table missing %q:\n%s", want, classTbl)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package history
+
+import (
+	"testing"
+	"time"
+)
+
+const ms = time.Millisecond
+
+func TestEmptyHistorySerializable(t *testing.T) {
+	h := New()
+	if ok, _ := h.Serializable(); !ok {
+		t.Fatal("empty history not serializable")
+	}
+	if order, err := h.SerialOrder(); err != nil || len(order) != 0 {
+		t.Fatalf("order = %v, %v", order, err)
+	}
+}
+
+func TestSimpleSerialHistory(t *testing.T) {
+	h := New()
+	h.Add(1, 0, Write, 1*ms)
+	h.Commit(1, 2*ms)
+	h.Add(2, 0, Write, 3*ms)
+	h.Commit(2, 4*ms)
+	if ok, _ := h.Serializable(); !ok {
+		t.Fatal("serial history reported non-serializable")
+	}
+	order, err := h.SerialOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v, want [1 2]", order)
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	h := New()
+	// w1(x) w2(x) w2(y) w1(y): 1->2 on x, 2->1 on y — classic cycle.
+	h.Add(1, 0, Write, 1*ms)
+	h.Add(2, 0, Write, 2*ms)
+	h.Add(2, 1, Write, 3*ms)
+	h.Add(1, 1, Write, 4*ms)
+	h.Commit(1, 5*ms)
+	h.Commit(2, 5*ms)
+	ok, cycle := h.Serializable()
+	if ok {
+		t.Fatal("cyclic history reported serializable")
+	}
+	if len(cycle) < 2 {
+		t.Fatalf("cycle = %v", cycle)
+	}
+	if _, err := h.SerialOrder(); err == nil {
+		t.Fatal("SerialOrder succeeded on cyclic history")
+	}
+}
+
+func TestReadsDoNotConflictWithReads(t *testing.T) {
+	h := New()
+	// r1(x) r2(x) r2(y) r1(y): reads only, no edges, serializable.
+	h.Add(1, 0, Read, 1*ms)
+	h.Add(2, 0, Read, 2*ms)
+	h.Add(2, 1, Read, 3*ms)
+	h.Add(1, 1, Read, 4*ms)
+	h.Commit(1, 5*ms)
+	h.Commit(2, 5*ms)
+	if ok, _ := h.Serializable(); !ok {
+		t.Fatal("read-only interleaving reported non-serializable")
+	}
+}
+
+func TestReadWriteConflict(t *testing.T) {
+	h := New()
+	// r1(x) w2(x) r2(y)... then w1(y) -> cycle via rw edges.
+	h.Add(1, 0, Read, 1*ms)
+	h.Add(2, 0, Write, 2*ms)
+	h.Add(2, 1, Read, 3*ms)
+	h.Add(1, 1, Write, 4*ms)
+	h.Commit(1, 5*ms)
+	h.Commit(2, 5*ms)
+	if ok, _ := h.Serializable(); ok {
+		t.Fatal("rw/wr cycle not detected")
+	}
+}
+
+func TestAbortDiscardsOps(t *testing.T) {
+	h := New()
+	h.Add(1, 0, Write, 1*ms)
+	h.Abort(1)
+	if h.AbortedOps() != 1 {
+		t.Fatalf("AbortedOps = %d", h.AbortedOps())
+	}
+	// The restarted incarnation runs after transaction 2 — without the
+	// abort discard this would be a w1 w2 w1 cycle on item 0.
+	h.Add(2, 0, Write, 2*ms)
+	h.Commit(2, 3*ms)
+	h.Add(1, 0, Write, 4*ms)
+	h.Commit(1, 5*ms)
+	ok, _ := h.Serializable()
+	if !ok {
+		t.Fatal("aborted incarnation's ops leaked into the history")
+	}
+	order, err := h.SerialOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != 2 || order[1] != 1 {
+		t.Fatalf("order = %v, want [2 1]", order)
+	}
+}
+
+func TestDoubleCommitPanics(t *testing.T) {
+	h := New()
+	h.Commit(1, 1*ms)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double commit did not panic")
+		}
+	}()
+	h.Commit(1, 2*ms)
+}
+
+func TestOpsOrderedBySequence(t *testing.T) {
+	h := New()
+	h.Add(2, 5, Write, 10*ms)
+	h.Add(1, 6, Write, 1*ms) // later op, earlier timestamp
+	h.Commit(1, 20*ms)
+	h.Commit(2, 20*ms)
+	ops := h.Ops()
+	if len(ops) != 2 || ops[0].Txn != 2 || ops[1].Txn != 1 {
+		t.Fatalf("ops = %v (must be in recording order, not timestamp order)", ops)
+	}
+}
+
+func TestCommittedCount(t *testing.T) {
+	h := New()
+	h.Commit(1, 0)
+	h.Commit(2, 0)
+	if h.Committed() != 2 {
+		t.Fatalf("Committed = %d", h.Committed())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "r" || Write.String() != "w" {
+		t.Fatal("Kind.String wrong")
+	}
+}
+
+func TestSerialOrderRespectsEdges(t *testing.T) {
+	h := New()
+	// 3 -> 1 -> 2 chain on distinct items.
+	h.Add(3, 0, Write, 1*ms)
+	h.Add(1, 0, Write, 2*ms)
+	h.Add(1, 1, Write, 3*ms)
+	h.Add(2, 1, Write, 4*ms)
+	h.Commit(3, 4*ms)
+	h.Commit(1, 5*ms)
+	h.Commit(2, 6*ms)
+	order, err := h.SerialOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[int]int{}
+	for i, v := range order {
+		pos[v] = i
+	}
+	if !(pos[3] < pos[1] && pos[1] < pos[2]) {
+		t.Fatalf("order %v violates conflict edges", order)
+	}
+}

@@ -1,0 +1,398 @@
+// Package lock implements the strict two-phase-locking lock manager
+// underlying every scheduling policy in this repository.
+//
+// The paper's own analysis allows only exclusive (write) locks; shared
+// (read) locks are implemented as well because the paper lists them as
+// future work ("shared locks will make the dynamic cost an even more
+// important factor"). The manager itself is policy-free: it reports
+// conflicts and maintains wait queues, while the scheduling policy decides
+// whether a conflicting requester wounds the holders (High Priority / CCA),
+// waits (EDF-WP), or waits conditionally (EDF-HP with a higher-priority
+// holder). Wait queues are kept in descending requester priority so that a
+// release always grants the most urgent compatible waiters first.
+package lock
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/txn"
+)
+
+// TxnID identifies a transaction instance to the lock manager.
+type TxnID int
+
+// Mode is a lock mode.
+type Mode int
+
+const (
+	// Write is an exclusive lock (the only mode used in the paper).
+	Write Mode = iota
+	// Read is a shared lock (extension).
+	Read
+)
+
+// String returns "W" or "R".
+func (m Mode) String() string {
+	if m == Read {
+		return "R"
+	}
+	return "W"
+}
+
+// compatible reports whether two lock modes may be held simultaneously.
+func compatible(a, b Mode) bool { return a == Read && b == Read }
+
+// Request is a pending (blocked) lock request.
+type Request struct {
+	Txn      TxnID
+	Item     txn.Item
+	Mode     Mode
+	Priority float64
+}
+
+type entry struct {
+	holders map[TxnID]Mode
+	waiters []*Request
+}
+
+// Manager tracks lock ownership and wait queues for a set of items.
+type Manager struct {
+	items   map[txn.Item]*entry
+	held    map[TxnID]map[txn.Item]Mode
+	waiting map[TxnID]*Request
+}
+
+// NewManager returns an empty lock manager.
+func NewManager() *Manager {
+	return &Manager{
+		items:   make(map[txn.Item]*entry),
+		held:    make(map[TxnID]map[txn.Item]Mode),
+		waiting: make(map[TxnID]*Request),
+	}
+}
+
+func (m *Manager) entry(it txn.Item) *entry {
+	e := m.items[it]
+	if e == nil {
+		e = &entry{holders: make(map[TxnID]Mode)}
+		m.items[it] = e
+	}
+	return e
+}
+
+// Holds reports whether t holds a lock on item (in any mode).
+func (m *Manager) Holds(t TxnID, item txn.Item) bool {
+	_, ok := m.held[t][item]
+	return ok
+}
+
+// HeldBy returns the items locked by t, in ascending order.
+func (m *Manager) HeldBy(t TxnID) []txn.Item {
+	out := make([]txn.Item, 0, len(m.held[t]))
+	for it := range m.held[t] {
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Holders returns the transactions holding a lock on item, in ascending ID
+// order (deterministic for the simulator).
+func (m *Manager) Holders(item txn.Item) []TxnID {
+	e := m.items[item]
+	if e == nil {
+		return nil
+	}
+	out := make([]TxnID, 0, len(e.holders))
+	for t := range e.holders {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Conflicting returns the holders of item whose mode is incompatible with
+// acquiring it in the given mode by t (excluding t itself).
+func (m *Manager) Conflicting(t TxnID, item txn.Item, mode Mode) []TxnID {
+	e := m.items[item]
+	if e == nil {
+		return nil
+	}
+	var out []TxnID
+	for h, hm := range e.holders {
+		if h != t && !compatible(mode, hm) {
+			out = append(out, h)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Acquire grants the lock to t if no incompatible holder exists, upgrading
+// Read->Write when t is the sole holder. It reports whether the lock was
+// granted; when it returns false the caller must decide between Wound
+// (release the holders) and Wait (Enqueue). Acquire never enqueues.
+func (m *Manager) Acquire(t TxnID, item txn.Item, mode Mode) bool {
+	if m.waiting[t] != nil {
+		panic(fmt.Sprintf("lock: txn %d acquiring %v while blocked on another item", t, item))
+	}
+	e := m.entry(item)
+	if cur, ok := e.holders[t]; ok {
+		if cur == mode || cur == Write {
+			return true // re-entrant or already stronger
+		}
+		// Read -> Write upgrade: allowed only as sole holder.
+		if len(e.holders) == 1 {
+			e.holders[t] = Write
+			m.held[t][item] = Write
+			return true
+		}
+		return false
+	}
+	if len(m.Conflicting(t, item, mode)) > 0 {
+		return false
+	}
+	// Note: a reader IS allowed to join current readers even when a writer
+	// is queued. The wait queue is priority-ordered, not FIFO, so the
+	// FIFO-fairness "no bypass" rule does not apply — and enforcing it
+	// here once produced requests that were blocked while waiting on
+	// nobody, invisible to the waits-for graph (an undetectable stall).
+	// Writer starvation is bounded by the priority queue: the writer is
+	// granted at the first release at which it outranks the readers.
+	e.holders[t] = mode
+	if m.held[t] == nil {
+		m.held[t] = make(map[txn.Item]Mode)
+	}
+	m.held[t][item] = mode
+	return true
+}
+
+// Enqueue blocks t on item: the request joins the item's wait queue ordered
+// by descending priority (FIFO among equal priorities). A transaction can
+// wait for at most one item at a time.
+func (m *Manager) Enqueue(r *Request) {
+	if m.waiting[r.Txn] != nil {
+		panic(fmt.Sprintf("lock: txn %d enqueued twice", r.Txn))
+	}
+	e := m.entry(r.Item)
+	pos := len(e.waiters)
+	for i, w := range e.waiters {
+		if r.Priority > w.Priority {
+			pos = i
+			break
+		}
+	}
+	e.waiters = append(e.waiters, nil)
+	copy(e.waiters[pos+1:], e.waiters[pos:])
+	e.waiters[pos] = r
+	m.waiting[r.Txn] = r
+}
+
+// Waiting returns the request t is blocked on, or nil.
+func (m *Manager) Waiting(t TxnID) *Request { return m.waiting[t] }
+
+// Waiters returns the queued requests for item in grant order.
+func (m *Manager) Waiters(item txn.Item) []*Request {
+	e := m.items[item]
+	if e == nil {
+		return nil
+	}
+	return append([]*Request(nil), e.waiters...)
+}
+
+// CancelWait removes t from whatever wait queue it is in (used when a
+// blocked transaction is wounded) and reports whether t was waiting.
+// Removing a queued request can unblock the requests behind it — e.g. a
+// reader queued behind a now-cancelled writer on an item held only by
+// readers — so the grant pass re-runs and the newly granted requests are
+// returned; the caller must wake those transactions.
+func (m *Manager) CancelWait(t TxnID) (granted []*Request, wasWaiting bool) {
+	r := m.waiting[t]
+	if r == nil {
+		return nil, false
+	}
+	delete(m.waiting, t)
+	e := m.items[r.Item]
+	for i, w := range e.waiters {
+		if w == r {
+			e.waiters = append(e.waiters[:i], e.waiters[i+1:]...)
+			break
+		}
+	}
+	return m.grantWaiters(r.Item), true
+}
+
+// ReleaseAll releases every lock held by t (commit or abort under strict
+// 2PL) and grants queued requests that become compatible, front-to-back.
+// It returns the newly granted requests; the caller is responsible for
+// waking those transactions.
+func (m *Manager) ReleaseAll(t TxnID) []*Request {
+	items := m.HeldBy(t)
+	for _, it := range items {
+		delete(m.items[it].holders, t)
+	}
+	delete(m.held, t)
+	var granted []*Request
+	for _, it := range items {
+		granted = append(granted, m.grantWaiters(it)...)
+	}
+	return granted
+}
+
+// grantWaiters grants the head of the queue (and, for readers, every
+// following compatible reader) if the item's current holders allow it.
+func (m *Manager) grantWaiters(item txn.Item) []*Request {
+	e := m.items[item]
+	var granted []*Request
+	for len(e.waiters) > 0 {
+		r := e.waiters[0]
+		ok := true
+		for h, hm := range e.holders {
+			if h != r.Txn && !compatible(r.Mode, hm) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		e.waiters = e.waiters[1:]
+		delete(m.waiting, r.Txn)
+		e.holders[r.Txn] = r.Mode
+		if m.held[r.Txn] == nil {
+			m.held[r.Txn] = make(map[txn.Item]Mode)
+		}
+		m.held[r.Txn][item] = r.Mode
+		granted = append(granted, r)
+		if r.Mode == Write {
+			break
+		}
+	}
+	return granted
+}
+
+// WaitsFor returns the transactions t is directly waiting on: the
+// incompatible holders of the item t is blocked on, plus the transactions
+// whose requests are queued ahead of t's (grants are strictly in queue
+// order, so a request cannot be granted before everything ahead of it).
+// The queue edges are a conservative over-approximation — two adjacent
+// readers would in fact be granted together — which can at worst abort a
+// deadlock victim slightly early, never miss a real cycle. The result is
+// deduplicated and in ascending order.
+func (m *Manager) WaitsFor(t TxnID) []TxnID {
+	r := m.waiting[t]
+	if r == nil {
+		return nil
+	}
+	seen := make(map[TxnID]bool)
+	for _, h := range m.Conflicting(t, r.Item, r.Mode) {
+		seen[h] = true
+	}
+	for _, w := range m.items[r.Item].waiters {
+		if w == r {
+			break
+		}
+		if w.Txn != t {
+			seen[w.Txn] = true
+		}
+	}
+	out := make([]TxnID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DetectCycle searches the waits-for graph for a cycle reachable from t and
+// returns the transactions on the cycle (empty if none). The waiting
+// baselines (EDF-WP) use this for deadlock resolution; CCA never waits and
+// therefore can never deadlock.
+func (m *Manager) DetectCycle(t TxnID) []TxnID {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[TxnID]int)
+	var stack []TxnID
+	var cycle []TxnID
+	var dfs func(v TxnID) bool
+	dfs = func(v TxnID) bool {
+		color[v] = grey
+		stack = append(stack, v)
+		for _, w := range m.WaitsFor(v) {
+			switch color[w] {
+			case grey:
+				for i := len(stack) - 1; i >= 0; i-- {
+					cycle = append(cycle, stack[i])
+					if stack[i] == w {
+						break
+					}
+				}
+				return true
+			case white:
+				if dfs(w) {
+					return true
+				}
+			}
+		}
+		color[v] = black
+		stack = stack[:len(stack)-1]
+		return false
+	}
+	if dfs(t) {
+		return cycle
+	}
+	return nil
+}
+
+// LockedItems returns how many items currently have at least one holder.
+func (m *Manager) LockedItems() int {
+	n := 0
+	for _, e := range m.items {
+		if len(e.holders) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckInvariants panics if the lock table violates its structural
+// invariants (at most one writer per item, writer excludes readers,
+// held/items tables consistent, waiters sorted). Engine integration tests
+// call this at every scheduling point.
+func (m *Manager) CheckInvariants() {
+	for it, e := range m.items {
+		writers := 0
+		for _, mode := range e.holders {
+			if mode == Write {
+				writers++
+			}
+		}
+		if writers > 1 {
+			panic(fmt.Sprintf("lock: item %d has %d writers", it, writers))
+		}
+		if writers == 1 && len(e.holders) > 1 {
+			panic(fmt.Sprintf("lock: item %d has a writer and %d holders", it, len(e.holders)))
+		}
+		for i := 1; i < len(e.waiters); i++ {
+			if e.waiters[i-1].Priority < e.waiters[i].Priority {
+				panic(fmt.Sprintf("lock: item %d wait queue out of order", it))
+			}
+		}
+		for h := range e.holders {
+			if _, ok := m.held[h][it]; !ok {
+				panic(fmt.Sprintf("lock: holder table missing txn %d item %d", h, it))
+			}
+		}
+	}
+	for t, items := range m.held {
+		for it := range items {
+			if _, ok := m.items[it].holders[t]; !ok {
+				panic(fmt.Sprintf("lock: held table has stale txn %d item %d", t, it))
+			}
+		}
+	}
+}

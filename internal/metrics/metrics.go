@@ -1,0 +1,307 @@
+// Package metrics collects per-run performance measures and aggregates them
+// across seeds the way the paper does: every configuration is run for a set
+// of random seeds (10 for main memory, 30 for disk) and the reported value
+// is the mean across runs.
+//
+// The headline metrics are the paper's: the percentage of transactions that
+// miss their deadline, the mean lateness of transactions (reported here as
+// mean tardiness, max(0, finish − deadline), so that improvement percentages
+// are well defined), and the number of restarts per transaction.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Run accumulates raw counters during one simulation run.
+type Run struct {
+	// Committed is the number of transactions that ran to commit.
+	Committed int
+	// Missed is the number of committed transactions that finished after
+	// their deadline.
+	Missed int
+	// Dropped is the number of transactions discarded at their deadline
+	// (firm-deadline mode; always 0 in the paper's soft model).
+	Dropped int
+	// TardinessSum is the summed positive lateness of all transactions.
+	TardinessSum time.Duration
+	// LatenessSum is the summed signed lateness (finish − deadline).
+	LatenessSum time.Duration
+	// ResponseSum is the summed response time (finish − arrival).
+	ResponseSum time.Duration
+	// Restarts is the number of transaction aborts (every abort leads to
+	// a restart; deadlines are soft and transactions are never dropped).
+	Restarts int
+	// NoncontributingAborts counts aborted transactions that had been
+	// dispatched while a higher-priority transaction was blocked — the
+	// paper's "noncontributing executions" that were in fact rolled back.
+	NoncontributingAborts int
+	// WastedService is the effective service time thrown away by aborts.
+	WastedService time.Duration
+	// RollbackTime is CPU time spent rolling back aborted transactions.
+	RollbackTime time.Duration
+	// LockWaits counts blocking data conflicts (zero under CCA).
+	LockWaits int
+	// Deadlocks counts deadlock resolutions (possible only under the
+	// waiting baselines, e.g. EDF-WP).
+	Deadlocks int
+	// CPUBusy is total CPU busy time (including rollbacks).
+	CPUBusy time.Duration
+	// DiskBusy is total disk busy time.
+	DiskBusy time.Duration
+	// Elapsed is the simulated time at which the last transaction
+	// committed.
+	Elapsed time.Duration
+	// PListArea is the time integral of the partially-executed
+	// transaction list's size (for the paper's 1–2 average check).
+	PListArea float64
+	// LiveArea is the time integral of the number of live (arrived, not
+	// committed) transactions, for Little's-law checks.
+	LiveArea float64
+	// CPUs is the number of processors (for utilisation normalisation).
+	CPUs int
+	// Disks is the number of disks (for utilisation normalisation).
+	Disks int
+	// latenessSamples holds each commit's tardiness in ms, for the
+	// percentile metrics.
+	latenessSamples []float64
+	// classes holds per-class commit counters (high-variance experiment).
+	classes map[int]*classCounts
+}
+
+type classCounts struct {
+	committed    int
+	missed       int
+	tardinessSum time.Duration
+}
+
+// Observe records one transaction commit. class is the transaction's
+// compute-time class (0 for single-class workloads).
+func (r *Run) Observe(class int, arrival, finish, deadline time.Duration) {
+	r.Committed++
+	r.ResponseSum += finish - arrival
+	late := finish - deadline
+	r.LatenessSum += late
+	if r.classes == nil {
+		r.classes = make(map[int]*classCounts)
+	}
+	cc := r.classes[class]
+	if cc == nil {
+		cc = &classCounts{}
+		r.classes[class] = cc
+	}
+	cc.committed++
+	tardy := 0.0
+	if late > 0 {
+		r.Missed++
+		r.TardinessSum += late
+		cc.missed++
+		cc.tardinessSum += late
+		tardy = float64(late) / float64(time.Millisecond)
+	}
+	r.latenessSamples = append(r.latenessSamples, tardy)
+}
+
+// percentile returns the p-th percentile (0..100) of sorted samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Result converts the raw counters into the derived per-run metrics.
+func (r *Run) Result() Result {
+	res := Result{
+		Committed:             r.Committed,
+		Dropped:               r.Dropped,
+		Restarts:              r.Restarts,
+		LockWaits:             r.LockWaits,
+		Deadlocks:             r.Deadlocks,
+		NoncontributingAborts: r.NoncontributingAborts,
+		Elapsed:               r.Elapsed,
+	}
+	if r.Committed+r.Dropped > 0 {
+		res.MissPercent = 100 * float64(r.Missed+r.Dropped) / float64(r.Committed+r.Dropped)
+	}
+	if r.Committed > 0 {
+		res.MeanLatenessMs = float64(r.TardinessSum) / float64(r.Committed) / float64(time.Millisecond)
+		res.MeanSignedLatenessMs = float64(r.LatenessSum) / float64(r.Committed) / float64(time.Millisecond)
+		res.RestartsPerTxn = float64(r.Restarts) / float64(r.Committed)
+		res.WastedServiceMs = float64(r.WastedService) / float64(r.Committed) / float64(time.Millisecond)
+		res.MeanResponseMs = float64(r.ResponseSum) / float64(r.Committed) / float64(time.Millisecond)
+		if len(r.latenessSamples) > 0 {
+			sorted := append([]float64(nil), r.latenessSamples...)
+			sort.Float64s(sorted)
+			res.P50LatenessMs = percentile(sorted, 50)
+			res.P90LatenessMs = percentile(sorted, 90)
+			res.P99LatenessMs = percentile(sorted, 99)
+			res.MaxLatenessMs = sorted[len(sorted)-1]
+		}
+	}
+	if r.Elapsed > 0 {
+		cpus := r.CPUs
+		if cpus == 0 {
+			cpus = 1
+		}
+		res.CPUUtilization = float64(r.CPUBusy) / (float64(r.Elapsed) * float64(cpus))
+		disks := r.Disks
+		if disks == 0 {
+			disks = 1
+		}
+		res.DiskUtilization = float64(r.DiskBusy) / (float64(r.Elapsed) * float64(disks))
+		res.AvgPListSize = r.PListArea / float64(r.Elapsed)
+		res.AvgLiveTxns = r.LiveArea / float64(r.Elapsed)
+	}
+	classes := make([]int, 0, len(r.classes))
+	for c := range r.classes {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	for _, c := range classes {
+		cc := r.classes[c]
+		cr := ClassResult{Class: c, Committed: cc.committed}
+		if cc.committed > 0 {
+			cr.MissPercent = 100 * float64(cc.missed) / float64(cc.committed)
+			cr.MeanLatenessMs = float64(cc.tardinessSum) / float64(cc.committed) / float64(time.Millisecond)
+		}
+		res.Classes = append(res.Classes, cr)
+	}
+	return res
+}
+
+// Result holds the derived metrics of one run.
+type Result struct {
+	Committed             int
+	Dropped               int
+	MissPercent           float64
+	MeanLatenessMs        float64 // mean tardiness, ms
+	MeanSignedLatenessMs  float64
+	P50LatenessMs         float64
+	P90LatenessMs         float64
+	P99LatenessMs         float64
+	MaxLatenessMs         float64
+	MeanResponseMs        float64
+	RestartsPerTxn        float64
+	WastedServiceMs       float64
+	LockWaits             int
+	Deadlocks             int
+	NoncontributingAborts int
+	CPUUtilization        float64
+	DiskUtilization       float64
+	AvgPListSize          float64
+	AvgLiveTxns           float64
+	Restarts              int
+	Elapsed               time.Duration
+	// Classes holds per-class results, ascending by class (empty for
+	// single-class workloads that only ever observed class 0... class 0
+	// is still reported so callers can treat it uniformly).
+	Classes []ClassResult
+}
+
+// ClassResult is the per-compute-class breakdown of a run.
+type ClassResult struct {
+	Class          int
+	Committed      int
+	MissPercent    float64
+	MeanLatenessMs float64
+}
+
+// String summarises a result on one line.
+func (r Result) String() string {
+	return fmt.Sprintf("miss=%.2f%% lateness=%.2fms restarts/txn=%.3f cpu=%.0f%% disk=%.0f%%",
+		r.MissPercent, r.MeanLatenessMs, r.RestartsPerTxn, 100*r.CPUUtilization, 100*r.DiskUtilization)
+}
+
+// Aggregate accumulates Results across seeds.
+type Aggregate struct {
+	MissPercent     stats.Accumulator
+	MeanLatenessMs  stats.Accumulator
+	P90LatenessMs   stats.Accumulator
+	P99LatenessMs   stats.Accumulator
+	SignedLateness  stats.Accumulator
+	RestartsPerTxn  stats.Accumulator
+	CPUUtilization  stats.Accumulator
+	DiskUtilization stats.Accumulator
+	AvgPListSize    stats.Accumulator
+	LockWaits       stats.Accumulator
+	Noncontrib      stats.Accumulator
+	Deadlocks       stats.Accumulator
+	// ClassMiss and ClassLateness aggregate the per-class breakdown
+	// (populated lazily; empty for single-class workloads' class 0 too —
+	// every observed class gets an entry).
+	ClassMiss     map[int]*stats.Accumulator
+	ClassLateness map[int]*stats.Accumulator
+}
+
+// Add folds one run's result into the aggregate.
+func (a *Aggregate) Add(r Result) {
+	a.MissPercent.Add(r.MissPercent)
+	a.MeanLatenessMs.Add(r.MeanLatenessMs)
+	a.P90LatenessMs.Add(r.P90LatenessMs)
+	a.P99LatenessMs.Add(r.P99LatenessMs)
+	a.SignedLateness.Add(r.MeanSignedLatenessMs)
+	a.RestartsPerTxn.Add(r.RestartsPerTxn)
+	a.CPUUtilization.Add(r.CPUUtilization)
+	a.DiskUtilization.Add(r.DiskUtilization)
+	a.AvgPListSize.Add(r.AvgPListSize)
+	a.LockWaits.Add(float64(r.LockWaits))
+	a.Noncontrib.Add(float64(r.NoncontributingAborts))
+	a.Deadlocks.Add(float64(r.Deadlocks))
+	for _, c := range r.Classes {
+		if a.ClassMiss == nil {
+			a.ClassMiss = make(map[int]*stats.Accumulator)
+			a.ClassLateness = make(map[int]*stats.Accumulator)
+		}
+		if a.ClassMiss[c.Class] == nil {
+			a.ClassMiss[c.Class] = &stats.Accumulator{}
+			a.ClassLateness[c.Class] = &stats.Accumulator{}
+		}
+		a.ClassMiss[c.Class].Add(c.MissPercent)
+		a.ClassLateness[c.Class].Add(c.MeanLatenessMs)
+	}
+}
+
+// N returns the number of runs aggregated.
+func (a *Aggregate) N() int { return a.MissPercent.N() }
+
+// Summary returns the across-run means as a Result.
+func (a *Aggregate) Summary() Result {
+	return Result{
+		MissPercent:           a.MissPercent.Mean(),
+		MeanLatenessMs:        a.MeanLatenessMs.Mean(),
+		P90LatenessMs:         a.P90LatenessMs.Mean(),
+		P99LatenessMs:         a.P99LatenessMs.Mean(),
+		MeanSignedLatenessMs:  a.SignedLateness.Mean(),
+		RestartsPerTxn:        a.RestartsPerTxn.Mean(),
+		CPUUtilization:        a.CPUUtilization.Mean(),
+		DiskUtilization:       a.DiskUtilization.Mean(),
+		AvgPListSize:          a.AvgPListSize.Mean(),
+		LockWaits:             int(a.LockWaits.Mean() + 0.5),
+		NoncontributingAborts: int(a.Noncontrib.Mean() + 0.5),
+		Deadlocks:             int(a.Deadlocks.Mean() + 0.5),
+	}
+}
+
+// Improvement returns the paper's improvement metrics of a candidate over a
+// baseline: percentage reductions in miss percent and mean lateness
+// ((EDF − CCA)/EDF × 100 in the paper's notation).
+type ImprovementResult struct {
+	MissPercent    float64
+	MeanLateness   float64
+	RestartsPerTxn float64
+}
+
+// ImprovementOver computes the candidate's improvement over the baseline.
+func ImprovementOver(baseline, candidate Result) ImprovementResult {
+	return ImprovementResult{
+		MissPercent:    stats.Improvement(baseline.MissPercent, candidate.MissPercent),
+		MeanLateness:   stats.Improvement(baseline.MeanLatenessMs, candidate.MeanLatenessMs),
+		RestartsPerTxn: stats.Improvement(baseline.RestartsPerTxn, candidate.RestartsPerTxn),
+	}
+}

@@ -1,0 +1,176 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// It is the Go equivalent of the SIMPACK event-scheduling core the paper's
+// original C simulator was built on: a virtual clock, an event calendar
+// ordered by firing time, and cancellable events. Events scheduled for the
+// same instant fire in FIFO order of scheduling, which makes every run fully
+// deterministic for a given seed and input.
+//
+// The kernel is single-threaded by design. Parallelism in this repository
+// lives above the kernel: the experiment harness runs many independent
+// simulations (seeds x sweep points x policies) concurrently, each with its
+// own Simulator.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in simulated time, expressed as an offset from the start
+// of the simulation. Using time.Duration gives nanosecond resolution, far
+// finer than the paper's millisecond-scale parameters.
+type Time = time.Duration
+
+// Event is a scheduled callback. It is returned by Simulator.At and
+// Simulator.After so that callers can cancel it before it fires.
+type Event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	index     int // position in the heap, -1 once removed
+	cancelled bool
+}
+
+// At returns the simulated time the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Cancelled reports whether Cancel was called on the event before it fired.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Pending reports whether the event is still in the calendar.
+func (e *Event) Pending() bool { return e.index >= 0 }
+
+// Simulator owns the virtual clock and the event calendar.
+type Simulator struct {
+	now      Time
+	seq      uint64
+	calendar eventHeap
+	executed uint64
+	running  bool
+}
+
+// New returns an empty simulator with the clock at zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Executed returns the number of events that have fired so far.
+func (s *Simulator) Executed() uint64 { return s.executed }
+
+// Pending returns the number of events still scheduled.
+func (s *Simulator) Pending() int { return len(s.calendar) }
+
+// At schedules fn to run at absolute simulated time t. It panics if t is in
+// the past; scheduling at the current instant is allowed and fires after all
+// previously scheduled events for that instant (FIFO order).
+func (s *Simulator) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil event function")
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.calendar, e)
+	return e
+}
+
+// After schedules fn to run d after the current simulated time.
+func (s *Simulator) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: scheduling event with negative delay %v", d))
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel removes a scheduled event from the calendar. It reports whether the
+// event was still pending; cancelling an already-fired or already-cancelled
+// event is a harmless no-op that returns false.
+func (s *Simulator) Cancel(e *Event) bool {
+	if e == nil || e.index < 0 {
+		return false
+	}
+	e.cancelled = true
+	heap.Remove(&s.calendar, e.index)
+	return true
+}
+
+// Step fires the earliest pending event, advancing the clock to its time.
+// It reports whether an event was fired.
+func (s *Simulator) Step() bool {
+	if len(s.calendar) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.calendar).(*Event)
+	s.now = e.at
+	s.executed++
+	e.fn()
+	return true
+}
+
+// Run fires events until the calendar drains.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events with firing time <= t, then advances the clock to t.
+// Events scheduled exactly at t do fire.
+func (s *Simulator) RunUntil(t Time) {
+	for len(s.calendar) > 0 && s.calendar[0].at <= t {
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// RunLimit fires at most n events; it returns the number actually fired.
+// It exists as a guard for tests that want to bound runaway simulations.
+func (s *Simulator) RunLimit(n uint64) uint64 {
+	var fired uint64
+	for fired < n && s.Step() {
+		fired++
+	}
+	return fired
+}
+
+// eventHeap is a min-heap ordered by (time, scheduling sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,136 @@
+package txn
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(3, 1, 2, 3)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (duplicates collapse)", s.Len())
+	}
+	if !s.Contains(1) || !s.Contains(2) || !s.Contains(3) {
+		t.Fatal("missing member")
+	}
+	if s.Contains(4) {
+		t.Fatal("spurious member")
+	}
+	if s.Empty() {
+		t.Fatal("non-empty set reported Empty")
+	}
+	var zero Set
+	if !zero.Empty() || zero.Len() != 0 {
+		t.Fatal("zero Set is not empty")
+	}
+	if zero.Contains(1) {
+		t.Fatal("zero Set contains an item")
+	}
+}
+
+func TestSetUnion(t *testing.T) {
+	u := NewSet(1, 2).Union(NewSet(2, 3))
+	if !u.Equal(NewSet(1, 2, 3)) {
+		t.Fatalf("Union = %v", u)
+	}
+	// Union must not mutate operands.
+	a := NewSet(1)
+	_ = a.Union(NewSet(9))
+	if a.Contains(9) {
+		t.Fatal("Union mutated its receiver")
+	}
+}
+
+func TestSetIntersects(t *testing.T) {
+	if !NewSet(1, 2, 3).Intersects(NewSet(3, 4)) {
+		t.Fatal("overlapping sets reported disjoint")
+	}
+	if NewSet(1, 2).Intersects(NewSet(3, 4)) {
+		t.Fatal("disjoint sets reported overlapping")
+	}
+	var zero Set
+	if zero.Intersects(NewSet(1)) || NewSet(1).Intersects(zero) {
+		t.Fatal("empty set intersects something")
+	}
+}
+
+func TestSetIntersection(t *testing.T) {
+	got := NewSet(1, 2, 3, 4).Intersection(NewSet(2, 4, 6))
+	if !got.Equal(NewSet(2, 4)) {
+		t.Fatalf("Intersection = %v, want {2, 4}", got)
+	}
+}
+
+func TestSetSubsetEqual(t *testing.T) {
+	a := NewSet(1, 2)
+	b := NewSet(1, 2, 3)
+	if !a.Subset(b) {
+		t.Fatal("subset not detected")
+	}
+	if b.Subset(a) {
+		t.Fatal("superset reported as subset")
+	}
+	if !a.Equal(NewSet(2, 1)) {
+		t.Fatal("order-independent equality failed")
+	}
+	if a.Equal(b) {
+		t.Fatal("unequal sets reported equal")
+	}
+}
+
+func TestSetItemsSorted(t *testing.T) {
+	got := NewSet(5, 1, 3).Items()
+	want := []Item{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Items() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSetString(t *testing.T) {
+	if s := NewSet(2, 1).String(); s != "{1, 2}" {
+		t.Fatalf("String() = %q", s)
+	}
+	var zero Set
+	if s := zero.String(); s != "{}" {
+		t.Fatalf("empty String() = %q", s)
+	}
+}
+
+func toSet(xs []uint8) Set {
+	items := make([]Item, len(xs))
+	for i, x := range xs {
+		items[i] = Item(x % 32)
+	}
+	return NewSet(items...)
+}
+
+func TestQuickSetAlgebra(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := toSet(xs), toSet(ys)
+		u := a.Union(b)
+		// union contains both operands
+		if !a.Subset(u) || !b.Subset(u) {
+			return false
+		}
+		// intersection is subset of both
+		in := a.Intersection(b)
+		if !in.Subset(a) || !in.Subset(b) {
+			return false
+		}
+		// Intersects agrees with Intersection
+		if a.Intersects(b) != !in.Empty() {
+			return false
+		}
+		// symmetry
+		if a.Intersects(b) != b.Intersects(a) {
+			return false
+		}
+		// inclusion-exclusion on sizes
+		return u.Len() == a.Len()+b.Len()-in.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
