@@ -1,0 +1,150 @@
+package core
+
+// Scheduling hot-path benchmarks: full CCA simulations with the incremental
+// conflict index against the original full-scan engine
+// (Config.NaiveConflictScan). The pair of configurations mirrors the two
+// regimes that matter:
+//
+//   - base-mm: the paper's Table 1 database (30 items) — heavily contended,
+//     small bitsets, the index's worst case;
+//   - large-db-high-mpl: a large database (8192 items) driven past
+//     saturation so hundreds of transactions are live at once — the regime
+//     the naive O(live × DBSize/64) rescans collapse in.
+//
+// `BENCH_BASELINE=1 go test ./internal/core -run TestWriteBenchBaseline`
+// refreshes the committed BENCH_core.json baseline (see DESIGN.md) so
+// future changes can track the trajectory.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+func benchCCAConfig(dbSize, count int, rate float64, naive bool) Config {
+	cfg := MainMemoryConfig(CCA, 7)
+	cfg.Workload.DBSize = dbSize
+	cfg.Workload.Count = count
+	cfg.Workload.ArrivalRate = rate
+	cfg.NaiveConflictScan = naive
+	return cfg
+}
+
+func benchRun(b *testing.B, cfg Config) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCCABaseIndexed(b *testing.B) { benchRun(b, benchCCAConfig(30, 300, 8, false)) }
+func BenchmarkCCABaseNaive(b *testing.B)   { benchRun(b, benchCCAConfig(30, 300, 8, true)) }
+
+func BenchmarkCCALargeDBHighMPLIndexed(b *testing.B) {
+	benchRun(b, benchCCAConfig(8192, 400, 25, false))
+}
+
+func BenchmarkCCALargeDBHighMPLNaive(b *testing.B) {
+	benchRun(b, benchCCAConfig(8192, 400, 25, true))
+}
+
+// BenchmarkEDFHPBaseIndexed measures the index's overhead on a policy that
+// never queries penalties — only the P-list statistic uses it — to keep the
+// maintenance cost honest for the baselines.
+func BenchmarkEDFHPBaseIndexed(b *testing.B) {
+	cfg := benchCCAConfig(30, 300, 8, false)
+	cfg.Policy = EDFHP
+	benchRun(b, cfg)
+}
+
+func BenchmarkEDFHPBaseNaive(b *testing.B) {
+	cfg := benchCCAConfig(30, 300, 8, true)
+	cfg.Policy = EDFHP
+	benchRun(b, cfg)
+}
+
+// benchBaselineEntry is one row of BENCH_core.json.
+type benchBaselineEntry struct {
+	Case      string  `json:"case"`
+	DBSize    int     `json:"db_size"`
+	Txns      int     `json:"txns"`
+	Rate      float64 `json:"arrival_rate"`
+	IndexedMs float64 `json:"indexed_ms"`
+	NaiveMs   float64 `json:"naive_ms"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// TestWriteBenchBaseline refreshes the repository's BENCH_core.json when
+// BENCH_BASELINE=1 is set. It records the wall time of the indexed and
+// naive engines on both benchmark configurations (best of three runs) and
+// fails if the large-DB/high-MPL case regresses below a 2× speedup.
+func TestWriteBenchBaseline(t *testing.T) {
+	if os.Getenv("BENCH_BASELINE") == "" {
+		t.Skip("set BENCH_BASELINE=1 to refresh BENCH_core.json (see DESIGN.md)")
+	}
+	measure := func(cfg Config) float64 {
+		best := 0.0
+		for r := 0; r < 3; r++ {
+			start := time.Now()
+			e, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := e.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if d := float64(time.Since(start)) / float64(time.Millisecond); best == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	cases := []struct {
+		name   string
+		dbSize int
+		count  int
+		rate   float64
+	}{
+		{"base-mm", 30, 300, 8},
+		{"large-db-high-mpl", 8192, 400, 25},
+	}
+	out := struct {
+		Note    string               `json:"note"`
+		Refresh string               `json:"refresh"`
+		Cases   []benchBaselineEntry `json:"cases"`
+	}{
+		Note:    "CCA engine wall time, incremental conflict index vs naive full scans (best of 3)",
+		Refresh: "BENCH_BASELINE=1 go test ./internal/core -run TestWriteBenchBaseline",
+	}
+	for _, c := range cases {
+		idx := measure(benchCCAConfig(c.dbSize, c.count, c.rate, false))
+		naive := measure(benchCCAConfig(c.dbSize, c.count, c.rate, true))
+		e := benchBaselineEntry{
+			Case: c.name, DBSize: c.dbSize, Txns: c.count, Rate: c.rate,
+			IndexedMs: idx, NaiveMs: naive,
+		}
+		if idx > 0 {
+			e.Speedup = naive / idx
+		}
+		out.Cases = append(out.Cases, e)
+		t.Logf("%s: indexed %.1fms naive %.1fms speedup %.2fx", c.name, idx, naive, e.Speedup)
+		if c.name == "large-db-high-mpl" && e.Speedup < 2 {
+			t.Errorf("%s: speedup %.2fx < 2x acceptance floor", c.name, e.Speedup)
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("../../BENCH_core.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/txn"
+import (
+	"math/bits"
+
+	"repro/internal/txn"
+)
 
 // bitset is a fixed-capacity item set used on the engine's hot paths
 // (unsafe/conflict tests run at every scheduling point). Capacity is the
@@ -49,6 +53,28 @@ func (b bitset) intersects(o bitset) bool {
 		}
 	}
 	return false
+}
+
+// intersectCount returns the number of items shared by b and o.
+func (b bitset) intersectCount(o bitset) int {
+	n := len(b)
+	if len(o) < n {
+		n = len(o)
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(b[i] & o[i])
+	}
+	return c
+}
+
+// forEach calls fn for every item in the set, in ascending order.
+func (b bitset) forEach(fn func(it txn.Item)) {
+	for i, w := range b {
+		for ; w != 0; w &= w - 1 {
+			fn(txn.Item(i*64 + bits.TrailingZeros64(w)))
+		}
+	}
 }
 
 // count returns the number of items in the set.

@@ -105,6 +105,12 @@ type Config struct {
 	// RecordHistory records every data operation for post-run conflict
 	// serializability checking (Engine.History).
 	RecordHistory bool
+	// NaiveConflictScan disables the incremental conflict index and falls
+	// back to the original O(live × DBSize) bitset rescans at every
+	// scheduling point. Behaviour is bit-identical either way (the
+	// equivalence suite asserts it); the flag exists for that suite and
+	// for benchmarking the index (see BENCH_core.json).
+	NaiveConflictScan bool
 	// MaxEvents bounds the simulation as a runaway guard; 0 picks a
 	// generous default derived from the workload size.
 	MaxEvents uint64

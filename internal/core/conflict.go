@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/txn"
+)
+
+// conflictIndex incrementally maintains the conflict state the scheduler
+// queries at every scheduling point, so that CCA's continuous priority
+// evaluation (PenaltyOfConflict) and the IOwait-schedule compatibility test
+// run in time proportional to the transactions that actually overlap
+// instead of rescanning every live transaction's bitset
+// (O(live × DBSize/64) per query).
+//
+// The index consists of:
+//
+//   - hasAt, an item → partially-executed-holders inverted index: which
+//     live transactions have accessed (locked) each item. Updated on lock
+//     acquisition, commit release, and abort release.
+//   - plist, the paper's P-list: the live transactions with at least one
+//     accessed item, as a dense slice for cheap iteration (the paper
+//     observes it averages 1–2 members).
+//   - a per-transaction cached penalty term (Txn.penaltyVal), invalidated
+//     when any overlapping transaction's has-set changes (tracked by the
+//     generation counter gen) or when simulated time advances (tracked by
+//     timestamp — a running overlapper's effective service time grows with
+//     the clock). While the clock stands still and no has-set changed, the
+//     penalty is provably constant, so a cache hit is exact, never stale.
+//
+// With the index, PenaltyOfConflict walks the holders of the items the
+// transaction might access (deduplicated with a visit stamp — no
+// allocation), and the IOwait-schedule test intersects against the P-list
+// only. The engine keeps the original full-scan implementations alongside
+// (Config.NaiveConflictScan); the equivalence suite in conflict_test.go
+// asserts both produce bit-identical schedules and metrics.
+type conflictIndex struct {
+	// hasAt[i] lists the live transactions that have accessed item i, in
+	// acquisition order.
+	hasAt [][]*Txn
+	// plist holds the live transactions with a non-empty has-set; each
+	// member's plistIdx is its position (swap-remove keeps it dense).
+	plist []*Txn
+	// gen increments on every has-set mutation; penalty caches carry the
+	// generation they were computed at.
+	gen uint64
+	// stamp is the visit marker for the penalty walk's deduplication.
+	stamp uint64
+}
+
+// newConflictIndex returns an empty index over a database of dbSize items.
+// gen starts at 1 so a zero Txn.penaltyGen (or an explicit invalidation to
+// 0) can never match a live generation.
+func newConflictIndex(dbSize int) *conflictIndex {
+	return &conflictIndex{hasAt: make([][]*Txn, dbSize), gen: 1}
+}
+
+// hasAdd records that t has accessed (locked) a new item. Callers must not
+// report an item already in t.has.
+func (ci *conflictIndex) hasAdd(t *Txn, it txn.Item) {
+	ci.hasAt[int(it)] = append(ci.hasAt[int(it)], t)
+	if t.plistIdx < 0 {
+		t.plistIdx = len(ci.plist)
+		ci.plist = append(ci.plist, t)
+	}
+	t.hasCount++
+	ci.gen++
+}
+
+// deindexHas removes every item of t.has from the inverted index and t
+// from the P-list (abort release, commit, drop). It reads t.has but does
+// not clear it; callers that empty the set (abort, drop) do so afterwards.
+func (ci *conflictIndex) deindexHas(t *Txn) {
+	if t.hasCount == 0 {
+		return
+	}
+	t.has.forEach(func(it txn.Item) {
+		hs := ci.hasAt[int(it)]
+		for i, h := range hs {
+			if h == t {
+				hs[i] = hs[len(hs)-1]
+				ci.hasAt[int(it)] = hs[:len(hs)-1]
+				break
+			}
+		}
+	})
+	last := len(ci.plist) - 1
+	moved := ci.plist[last]
+	ci.plist[t.plistIdx] = moved
+	moved.plistIdx = t.plistIdx
+	ci.plist = ci.plist[:last]
+	t.plistIdx = -1
+	t.hasCount = 0
+	ci.gen++
+}
+
+// penalty computes the paper's TL for t from the inverted index: the sum
+// over the distinct partially executed holders of items t might access.
+// The visit stamp deduplicates holders of several overlapping items
+// without allocating.
+func (ci *conflictIndex) penalty(e *Engine, t *Txn) time.Duration {
+	ci.stamp++
+	var sum time.Duration
+	t.might.forEach(func(it txn.Item) {
+		for _, p := range ci.hasAt[int(it)] {
+			if p == t || p.seenStamp == ci.stamp {
+				continue
+			}
+			p.seenStamp = ci.stamp
+			sum += e.serviceNow(p)
+			if e.cfg.PenaltyIncludesRollback {
+				sum += e.rollbackCost(p)
+			}
+		}
+	})
+	return sum
+}
+
+// verify recomputes the whole index by brute force and panics on any
+// divergence. It runs only under Config.CheckInvariants, giving every
+// invariant-enabled engine test full coverage of the incremental updates.
+func (ci *conflictIndex) verify(e *Engine) {
+	inPlist := make(map[*Txn]bool, len(ci.plist))
+	for i, t := range ci.plist {
+		if t.plistIdx != i {
+			panic(fmt.Sprintf("core: T%d plistIdx %d but sits at %d", t.ID(), t.plistIdx, i))
+		}
+		if inPlist[t] {
+			panic(fmt.Sprintf("core: T%d on the P-list twice", t.ID()))
+		}
+		inPlist[t] = true
+	}
+	live := 0
+	for _, t := range e.live {
+		if pe := t.PartiallyExecuted(); pe != inPlist[t] {
+			panic(fmt.Sprintf("core: conflict index P-list disagrees for T%d (partially executed %v)", t.ID(), pe))
+		}
+		if inPlist[t] {
+			live++
+		}
+		if t.hasCount != t.has.count() {
+			panic(fmt.Sprintf("core: T%d hasCount %d but bitset has %d items", t.ID(), t.hasCount, t.has.count()))
+		}
+	}
+	if live != len(ci.plist) {
+		panic(fmt.Sprintf("core: P-list has %d members, %d of which are live", len(ci.plist), live))
+	}
+	for i, hs := range ci.hasAt {
+		seen := make(map[*Txn]bool, len(hs))
+		for _, t := range hs {
+			if seen[t] {
+				panic(fmt.Sprintf("core: hasAt[%d] lists T%d twice", i, t.ID()))
+			}
+			seen[t] = true
+			if !t.has.contains(txn.Item(i)) || !inPlist[t] {
+				panic(fmt.Sprintf("core: stale hasAt entry T%d item %d", t.ID(), i))
+			}
+		}
+	}
+	for _, t := range e.live {
+		t.has.forEach(func(it txn.Item) {
+			for _, h := range ci.hasAt[int(it)] {
+				if h == t {
+					return
+				}
+			}
+			panic(fmt.Sprintf("core: hasAt missing T%d item %d", t.ID(), it))
+		})
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+// Equivalence suite for the incremental conflict index: every run must be
+// bit-identical — same per-transaction schedule (commit times, restarts,
+// secondary dispatches) and same metrics — whether the engine maintains the
+// index or performs the original full scans (Config.NaiveConflictScan).
+// The indexed runs execute with CheckInvariants on, which additionally
+// cross-checks the index against a brute-force recomputation at every
+// scheduling point.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// txnOutcome is the schedule-visible fate of one transaction.
+type txnOutcome struct {
+	State     State
+	Finish    time.Duration
+	Restarts  int
+	Secondary bool
+}
+
+func runForEquivalence(t *testing.T, cfg Config, wl *workload.Workload) ([]txnOutcome, interface{}) {
+	t.Helper()
+	var (
+		e   *Engine
+		err error
+	)
+	if wl != nil {
+		e, err = NewWithWorkload(cfg, wl)
+	} else {
+		e, err = New(cfg)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]txnOutcome, len(e.all))
+	for i, tx := range e.all {
+		out[i] = txnOutcome{
+			State:     tx.state,
+			Finish:    time.Duration(tx.finish),
+			Restarts:  tx.restarts,
+			Secondary: tx.ranAsSecondary,
+		}
+	}
+	return out, res
+}
+
+// assertEquivalent runs cfg twice — indexed (with invariants verifying the
+// index) and naive — and requires bit-identical schedules and metrics.
+func assertEquivalent(t *testing.T, name string, cfg Config, wl *workload.Workload) {
+	t.Helper()
+	idxCfg := cfg
+	idxCfg.NaiveConflictScan = false
+	idxCfg.CheckInvariants = true
+	naiveCfg := cfg
+	naiveCfg.NaiveConflictScan = true
+	naiveCfg.CheckInvariants = true
+
+	idxSched, idxRes := runForEquivalence(t, idxCfg, wl)
+	naiveSched, naiveRes := runForEquivalence(t, naiveCfg, wl)
+	if !reflect.DeepEqual(idxSched, naiveSched) {
+		for i := range idxSched {
+			if idxSched[i] != naiveSched[i] {
+				t.Errorf("%s: T%d diverges: indexed %+v, naive %+v", name, i, idxSched[i], naiveSched[i])
+			}
+		}
+		t.Fatalf("%s: schedules diverge between indexed and naive engines", name)
+	}
+	if !reflect.DeepEqual(idxRes, naiveRes) {
+		t.Fatalf("%s: metrics diverge:\nindexed: %+v\nnaive:   %+v", name, idxRes, naiveRes)
+	}
+}
+
+// TestConflictIndexEquivalenceGenerated covers the paper's generated
+// workloads: main-memory and disk base configurations under CCA at several
+// arrival rates and seeds (the paths that exercise PenaltyOfConflict and
+// the IOwait-schedule filter continuously).
+func TestConflictIndexEquivalenceGenerated(t *testing.T) {
+	for _, rate := range []float64{5, 10, 15} {
+		for seed := int64(1); seed <= 3; seed++ {
+			cfg := MainMemoryConfig(CCA, seed)
+			cfg.Workload.Count = 250
+			cfg.Workload.ArrivalRate = rate
+			assertEquivalent(t, "mm-cca", cfg, nil)
+		}
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg := DiskConfig(CCA, seed)
+		cfg.Workload.Count = 120
+		assertEquivalent(t, "disk-cca", cfg, nil)
+	}
+}
+
+// TestConflictIndexEquivalenceAllPolicies runs every policy on the base
+// workload: the index is maintained engine-wide (the P-list statistic uses
+// it for every policy), so every policy must stay bit-identical too.
+func TestConflictIndexEquivalenceAllPolicies(t *testing.T) {
+	for _, pol := range Policies() {
+		cfg := MainMemoryConfig(pol, 2)
+		cfg.Workload.Count = 150
+		cfg.Workload.ArrivalRate = 10
+		assertEquivalent(t, "policy-"+string(pol), cfg, nil)
+	}
+}
+
+// TestConflictIndexEquivalenceDecisionPoints covers might-set narrowing at
+// decision points and re-widening on restart, in both the narrowing and
+// the pessimistic-analysis modes.
+func TestConflictIndexEquivalenceDecisionPoints(t *testing.T) {
+	for _, pessimistic := range []bool{false, true} {
+		for seed := int64(1); seed <= 3; seed++ {
+			cfg := MainMemoryConfig(CCA, seed)
+			cfg.Workload.Count = 200
+			cfg.Workload.ArrivalRate = 12
+			cfg.Workload.DecisionPoints = true
+			cfg.PessimisticAnalysis = pessimistic
+			assertEquivalent(t, "decision-points", cfg, nil)
+		}
+	}
+}
+
+// TestConflictIndexEquivalenceFirmAndMP covers departure paths beyond
+// commit: firm-deadline drops, and the multiprocessor + multi-disk
+// configuration where the IOwait filter also constrains chosen peers.
+func TestConflictIndexEquivalenceFirmAndMP(t *testing.T) {
+	cfg := MainMemoryConfig(CCA, 3)
+	cfg.Workload.Count = 200
+	cfg.Workload.ArrivalRate = 14
+	cfg.FirmDeadlines = true
+	assertEquivalent(t, "firm", cfg, nil)
+
+	cfg = DiskConfig(CCA, 4)
+	cfg.Workload.Count = 120
+	cfg.NumCPUs = 2
+	cfg.NumDisks = 2
+	assertEquivalent(t, "mp", cfg, nil)
+}
+
+// TestConflictIndexEquivalenceRandomWorkloads replays the adversarial
+// random-workload generator (clustered items, reads, criticalities, bursty
+// arrivals, near-zero slack) through both engines for a spread of policies.
+func TestConflictIndexEquivalenceRandomWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	pols := Policies()
+	for seed := int64(1); seed <= 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		withIO := seed%2 == 0
+		pol := pols[int(seed)%len(pols)]
+		if pol == PCP && withIO {
+			pol = CCA
+		}
+		wl := genRandomWorkload(rng, 40, 60, withIO)
+		cfg := MainMemoryConfig(pol, seed)
+		cfg.Workload = wl.Params
+		assertEquivalent(t, "random-"+string(pol), cfg, wl)
+	}
+}

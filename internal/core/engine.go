@@ -57,6 +57,13 @@ type Engine struct {
 	live  []*Txn // arrived, not yet committed, in arrival order
 	slots []*Txn // CPU occupants (nil = idle)
 
+	// ci incrementally tracks might/has overlaps between live
+	// transactions so the scheduling hot paths (PenaltyOfConflict, the
+	// IOwait-schedule compatibility test, P-list size accounting) avoid
+	// rescanning every live transaction; nil when
+	// Config.NaiveConflictScan selects the original full scans.
+	ci *conflictIndex
+
 	committed int
 	dropped   int
 	hasReads  bool // any shared-lock accesses in the workload
@@ -126,6 +133,9 @@ func NewWithWorkload(cfg Config, wl *workload.Workload) (*Engine, error) {
 	if cfg.RecordHistory {
 		e.hist = history.New()
 	}
+	if !cfg.NaiveConflictScan {
+		e.ci = newConflictIndex(cfg.Workload.DBSize)
+	}
 	if cfg.Workload.DiskAccessProb > 0 {
 		n := cfg.NumDisks
 		if n <= 0 {
@@ -142,6 +152,7 @@ func NewWithWorkload(cfg Config, wl *workload.Workload) (*Engine, error) {
 			might:     fromItems(cfg.Workload.DBSize, spec.Items),
 			has:       newBitset(cfg.Workload.DBSize),
 			cpu:       -1,
+			plistIdx:  -1,
 			inherited: negInf,
 		}
 		if len(spec.MightFull) > 0 && !cfg.PessimisticAnalysis {
@@ -241,9 +252,13 @@ func (e *Engine) note() {
 	now := e.sim.Now()
 	if now > e.lastNote {
 		n := 0
-		for _, t := range e.live {
-			if t.PartiallyExecuted() {
-				n++
+		if e.ci != nil {
+			n = len(e.ci.plist)
+		} else {
+			for _, t := range e.live {
+				if t.PartiallyExecuted() {
+					n++
+				}
 			}
 		}
 		e.run.PListArea += float64(n) * float64(now-e.lastNote)
@@ -257,7 +272,30 @@ func (e *Engine) note() {
 // transaction that is unsafe or conditionally unsafe with respect to t —
 // i.e. has accessed an item t might access. (Paper §3.3.1; the simulation
 // mode treats unsafe and conditionally unsafe alike, as §4 does.)
+//
+// With the conflict index the sum walks only the partially executed
+// holders of items t might access (near-O(overlap)); a cached term
+// short-circuits the repeated evaluations inside a multi-pass scheduling
+// point. The cache is keyed by (timestamp, index generation) — every
+// contributor's effective service time is constant while the clock stands
+// still and no has-set changed — so a hit is exact, never stale.
 func (e *Engine) PenaltyOfConflict(t *Txn) time.Duration {
+	if e.ci == nil {
+		return e.penaltyOfConflictScan(t)
+	}
+	now := e.sim.Now()
+	if t.penaltyGen == e.ci.gen && t.penaltyAt == now {
+		return t.penaltyVal
+	}
+	sum := e.ci.penalty(e, t)
+	t.penaltyVal, t.penaltyAt, t.penaltyGen = sum, now, e.ci.gen
+	return sum
+}
+
+// penaltyOfConflictScan is the original full-scan implementation
+// (O(live × DBSize/64) per call), kept for Config.NaiveConflictScan and
+// the equivalence suite.
+func (e *Engine) penaltyOfConflictScan(t *Txn) time.Duration {
 	var sum time.Duration
 	for _, p := range e.live {
 		if p == t || !p.PartiallyExecuted() {
@@ -325,7 +363,7 @@ func (e *Engine) onUpdateDone(t *Txn) {
 		// committed to its branch and its might-access set narrows
 		// (paper §3.2.2 — "refinements of what we know about the
 		// transaction's execution").
-		t.might = t.mightNarrow
+		e.setMight(t, t.mightNarrow)
 		e.tracef("T%d passes its decision point; might-set narrows", t.ID())
 	}
 	t.next++
@@ -450,7 +488,7 @@ func (e *Engine) startItem(t *Txn) {
 			e.abort(v)
 		}
 	}
-	t.has.add(item)
+	e.hasAcquired(t, item)
 	if rollback > 0 {
 		// The wounding transaction's CPU performs the rollback before
 		// the update proceeds; the rollback section is not preemptable
@@ -553,6 +591,9 @@ func (e *Engine) commit(t *Txn) {
 		e.hist.Commit(t.ID(), time.Duration(t.finish))
 	}
 	e.wake(e.lm.ReleaseAll(lock.TxnID(t.ID())))
+	if e.ci != nil {
+		e.ci.deindexHas(t)
+	}
 	e.removeLive(t)
 	e.committed++
 	e.run.Observe(t.Spec.Class, t.Spec.Arrival, time.Duration(t.finish), t.Spec.Deadline)
@@ -589,6 +630,9 @@ func (e *Engine) drop(t *Txn) {
 		e.hist.Abort(t.ID())
 	}
 	e.wake(e.lm.ReleaseAll(lock.TxnID(t.ID())))
+	if e.ci != nil {
+		e.ci.deindexHas(t) // before has.clear: deindexing reads the has-set
+	}
 	t.cpuEvent = nil
 	t.ioReq = nil
 	t.has.clear()
@@ -659,6 +703,14 @@ func (e *Engine) abort(v *Txn) {
 		e.hist.Abort(v.ID())
 	}
 	e.wake(e.lm.ReleaseAll(lock.TxnID(v.ID())))
+	if e.ci != nil {
+		e.ci.deindexHas(v) // before resetForRestart clears the has-set
+	}
+	if v.mightNarrow != nil {
+		// A restarted transaction is back before its decision point; its
+		// might-set re-widens (no-op if it never narrowed).
+		e.setMight(v, v.mightFull)
+	}
 	v.resetForRestart()
 	v.inherited = negInf
 	if deferRestart {
@@ -691,7 +743,7 @@ func (e *Engine) wake(granted []*lock.Request) {
 		if w.state != StateLockWait {
 			panic(fmt.Sprintf("core: waking T%d in state %v", w.ID(), w.state))
 		}
-		w.has.add(g.Item)
+		e.hasAcquired(w, g.Item)
 		w.state = StateReady
 		e.tracef("T%d granted item %d, wakes", w.ID(), g.Item)
 		e.emit(trace.Event{Kind: trace.Wake, Txn: w.ID(), Other: -1, Item: g.Item})
@@ -703,6 +755,27 @@ func (e *Engine) freeCPU(t *Txn) {
 		e.slots[t.cpu] = nil
 		t.cpu = -1
 	}
+}
+
+// hasAcquired records that t now holds item, keeping the has-set and the
+// conflict index in sync. Re-acquisitions (re-entrant locks, read→write
+// upgrades, a wait grant on an already-held item) are no-ops.
+func (e *Engine) hasAcquired(t *Txn, item txn.Item) {
+	if t.has.contains(item) {
+		return
+	}
+	t.has.add(item)
+	if e.ci != nil {
+		e.ci.hasAdd(t, item)
+	}
+}
+
+// setMight switches t's current might-access set (decision-point narrowing
+// or restart re-widening). Only t's own penalty depends on t.might, so only
+// t's cached term is invalidated (generation 0 never matches a live index).
+func (e *Engine) setMight(t *Txn, b bitset) {
+	t.might = b
+	t.penaltyGen = 0
 }
 
 func (e *Engine) removeLive(t *Txn) {
@@ -902,8 +975,29 @@ func blocked(top *Txn) bool {
 
 // compatible reports whether c conflicts with no partially executed
 // transaction (the IOwait-schedule admission test) and, on a
-// multiprocessor, with no already-chosen peer.
+// multiprocessor, with no already-chosen peer. With the conflict index the
+// test intersects against the P-list only (average size 1–2 per the paper)
+// instead of scanning every live transaction.
 func (e *Engine) compatible(c *Txn, desired []*Txn) bool {
+	if e.ci == nil {
+		return e.compatibleScan(c, desired)
+	}
+	for _, p := range e.ci.plist {
+		if p != c && p.might.intersects(c.might) {
+			return false
+		}
+	}
+	for _, d := range desired {
+		if d != c && d.might.intersects(c.might) {
+			return false
+		}
+	}
+	return true
+}
+
+// compatibleScan is the original full-scan IOwait-schedule test, kept for
+// Config.NaiveConflictScan and the equivalence suite.
+func (e *Engine) compatibleScan(c *Txn, desired []*Txn) bool {
 	for _, p := range e.live {
 		if p != c && p.PartiallyExecuted() && p.might.intersects(c.might) {
 			return false
@@ -946,6 +1040,9 @@ func (e *Engine) dispatch(t *Txn, slot int, asSecondary bool) {
 // priority under the HP baselines.
 func (e *Engine) checkInvariants() {
 	e.lm.CheckInvariants()
+	if e.ci != nil {
+		e.ci.verify(e)
+	}
 	occupied := make(map[int]bool)
 	for i, s := range e.slots {
 		if s == nil {
@@ -981,16 +1078,16 @@ func (e *Engine) checkInvariants() {
 		if t.state == StateAborting && t.has.any() {
 			panic(fmt.Sprintf("core: aborting T%d still holds items", t.ID()))
 		}
-		// The hasaccessed bitset mirrors the lock table exactly.
-		held := e.lm.HeldBy(lock.TxnID(t.ID()))
-		if len(held) != t.has.count() {
-			panic(fmt.Sprintf("core: T%d bitset has %d items but holds %d locks", t.ID(), t.has.count(), len(held)))
+		// The hasaccessed bitset mirrors the lock table exactly: equal
+		// counts plus has ⊆ held imply set equality.
+		if n := e.lm.HeldCount(lock.TxnID(t.ID())); n != t.has.count() {
+			panic(fmt.Sprintf("core: T%d bitset has %d items but holds %d locks", t.ID(), t.has.count(), n))
 		}
-		for _, it := range held {
-			if !t.has.contains(it) {
-				panic(fmt.Sprintf("core: T%d holds lock on %d missing from bitset", t.ID(), it))
+		t.has.forEach(func(it txn.Item) {
+			if !e.lm.Holds(lock.TxnID(t.ID()), it) {
+				panic(fmt.Sprintf("core: T%d bitset item %d not locked", t.ID(), it))
 			}
-		}
+		})
 		// Pending store writes never exceed processed updates.
 		if e.store.Pending(db.TxnID(t.ID())) > t.next {
 			panic(fmt.Sprintf("core: T%d has %d pending writes after %d updates", t.ID(), e.store.Pending(db.TxnID(t.ID())), t.next))

@@ -60,7 +60,10 @@ func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 //
 // with High Priority (always-wound) data conflict resolution and the
 // IOwait-schedule CPU filter. Continuous evaluation: the penalty changes as
-// partially executed transactions accumulate service time.
+// partially executed transactions accumulate service time, so Evaluate runs
+// for every live transaction at every scheduling point — the engine's
+// incremental conflict index (conflict.go) keeps each evaluation
+// near-O(overlap) rather than O(live × DBSize).
 type ccaPolicy struct {
 	weight float64
 }

@@ -25,7 +25,7 @@ func policyFixture(t *testing.T, kind PolicyKind) (*Engine, *Txn, *Txn) {
 	}
 	t0, t1 := e.all[0], e.all[1]
 	e.live = []*Txn{t0, t1}
-	t0.has.add(0)
+	e.hasAcquired(t0, 0)
 	t0.service = 6 * msec
 	return e, t0, t1
 }
@@ -40,8 +40,11 @@ func TestCCAEvaluateIncludesPenalty(t *testing.T) {
 
 func TestCCAEvaluateNoPenaltyForDisjoint(t *testing.T) {
 	e, t0, t1 := policyFixture(t, CCA)
+	if e.ci != nil {
+		e.ci.deindexHas(t0)
+	}
 	t0.has.clear()
-	t0.has.add(1) // now holds only item 1, which T1 never accesses
+	e.hasAcquired(t0, 1) // now holds only item 1, which T1 never accesses
 	if got := e.policy.Evaluate(e, t1); got != -90 {
 		t.Fatalf("Pr(T1) = %v, want -90 (no unsafe P-list member)", got)
 	}

@@ -100,6 +100,25 @@ type Txn struct {
 	// has is the set of items accessed (locked) so far.
 	has bitset
 
+	// Conflict-index state (unused when the engine runs the naive scan,
+	// Config.NaiveConflictScan):
+	//
+	// plistIdx is this transaction's position on the index's P-list slice,
+	// or -1 while it has accessed nothing.
+	plistIdx int
+	// hasCount is the number of items in has (maintained by the index;
+	// an O(1) stand-in for has.count()).
+	hasCount int
+	// seenStamp marks the last penalty walk that visited this transaction
+	// (deduplicates holders of several overlapping items).
+	seenStamp uint64
+	// penaltyVal caches PenaltyOfConflict computed at simulated time
+	// penaltyAt under index generation penaltyGen; valid while both still
+	// match (no has-set changed and the clock has not advanced).
+	penaltyVal time.Duration
+	penaltyAt  sim.Time
+	penaltyGen uint64
+
 	// priority is the value from the last continuous-evaluation pass
 	// (higher runs first).
 	priority float64

@@ -99,6 +99,7 @@ func Run(def Definition, opt Options) (*Result, error) {
 
 	jobCh := make(chan job)
 	outCh := make(chan outcome, len(jobs))
+	cancel := make(chan struct{}) // closed on the first error: stops the feeder
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -119,15 +120,23 @@ func Run(def Definition, opt Options) (*Result, error) {
 		}()
 	}
 	go func() {
+		defer close(jobCh)
 		for _, j := range jobs {
-			jobCh <- j
+			select {
+			case jobCh <- j:
+			case <-cancel:
+				return
+			}
 		}
-		close(jobCh)
+	}()
+	go func() {
 		wg.Wait()
 		close(outCh)
 	}()
 
-	// Collect by seed so aggregation order is deterministic.
+	// Collect by seed so aggregation order is deterministic. On a run error
+	// the feeder is cancelled and outCh drained to completion — every worker
+	// and the feeder exit before Run returns, leaking nothing.
 	bySeed := make([][][]metrics.Result, len(def.Xs))
 	for xi := range bySeed {
 		bySeed[xi] = make([][]metrics.Result, len(def.Variants))
@@ -135,17 +144,25 @@ func Run(def Definition, opt Options) (*Result, error) {
 			bySeed[xi][vi] = make([]metrics.Result, seeds)
 		}
 	}
+	var firstErr error
 	done := 0
 	for o := range outCh {
 		if o.err != nil {
-			return nil, fmt.Errorf("experiment %s: %s at %s=%v seed %d: %w",
-				def.ID, def.Variants[o.vi].Name, def.XLabel, def.Xs[o.xi], o.seed, o.err)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("experiment %s: %s at %s=%v seed %d: %w",
+					def.ID, def.Variants[o.vi].Name, def.XLabel, def.Xs[o.xi], o.seed, o.err)
+				close(cancel)
+			}
+			continue
 		}
 		bySeed[o.xi][o.vi][o.seed-1] = o.res
 		done++
 		if opt.Progress != nil {
 			opt.Progress(done, len(jobs))
 		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 
 	r := &Result{Def: &def, Agg: make([][]*metrics.Aggregate, len(def.Xs))}

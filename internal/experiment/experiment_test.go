@@ -2,8 +2,10 @@ package experiment
 
 import (
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 )
@@ -92,6 +94,10 @@ func TestRunSmallSweep(t *testing.T) {
 	}
 }
 
+// TestRunDeterministicAggregation: a serial run and a fully parallel run
+// (Workers: GOMAXPROCS) must produce identical aggregates — not just equal
+// summaries but every accumulator of every (point, variant), which pins the
+// collect-by-seed fold order against completion-order nondeterminism.
 func TestRunDeterministicAggregation(t *testing.T) {
 	def := findDef(t, "mm-rate")
 	def.Xs = []float64{6}
@@ -99,12 +105,67 @@ func TestRunDeterministicAggregation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(def, Options{Seeds: 3, Count: 100, Workers: 4})
+	b, err := Run(def, Options{Seeds: 3, Count: 100, Workers: runtime.GOMAXPROCS(0)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(a.Summary(0, 0), b.Summary(0, 0)) || !reflect.DeepEqual(a.Summary(0, 1), b.Summary(0, 1)) {
+	if !reflect.DeepEqual(a.Agg, b.Agg) {
 		t.Fatal("worker count changed aggregated results")
+	}
+}
+
+// TestSummaryPreservesCommitCounts: in the soft-deadline model every
+// transaction commits, so the across-seed summary of a sweep must report
+// exactly the per-run transaction count — a regression test for Summary
+// zeroing the count-valued fields.
+func TestSummaryPreservesCommitCounts(t *testing.T) {
+	def := findDef(t, "mm-rate")
+	def.Xs = []float64{8}
+	const count = 90
+	r, err := Run(def, Options{Seeds: 3, Count: count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vi := range def.Variants {
+		s := r.Summary(0, vi)
+		if s.Committed != count {
+			t.Errorf("%s: Summary.Committed = %d, want %d", def.Variants[vi].Name, s.Committed, count)
+		}
+		if s.Dropped != 0 {
+			t.Errorf("%s: Summary.Dropped = %d, want 0 (soft deadlines)", def.Variants[vi].Name, s.Dropped)
+		}
+		if s.Elapsed <= 0 {
+			t.Errorf("%s: Summary.Elapsed = %v, want > 0", def.Variants[vi].Name, s.Elapsed)
+		}
+	}
+}
+
+// TestRunErrorLeaksNoGoroutines: an error partway through a large sweep must
+// cancel the feeder and drain the workers before Run returns. Before the
+// fix, the early return left the feeder blocked on the unbuffered job
+// channel forever.
+func TestRunErrorLeaksNoGoroutines(t *testing.T) {
+	def := Definition{
+		ID: "leak", Title: "leak", XLabel: "x", Xs: make([]float64, 40), Seeds: 5,
+		Variants: []Variant{{Name: "bad", Configure: func(x float64, seed int64) core.Config {
+			return core.Config{} // invalid: every job fails validation
+		}}},
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		if _, err := Run(def, Options{Workers: 4}); err == nil {
+			t.Fatal("invalid sweep did not fail")
+		}
+	}
+	// Give exited goroutines a moment to be reaped before comparing.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("goroutines leaked: %d before, %d after\n%s",
+			before, after, buf[:runtime.Stack(buf, true)])
 	}
 }
 

@@ -87,6 +87,9 @@ func (m *Manager) Holds(t TxnID, item txn.Item) bool {
 	return ok
 }
 
+// HeldCount returns the number of items t holds locks on, in O(1).
+func (m *Manager) HeldCount(t TxnID) int { return len(m.held[t]) }
+
 // HeldBy returns the items locked by t, in ascending order.
 func (m *Manager) HeldBy(t TxnID) []txn.Item {
 	out := make([]txn.Item, 0, len(m.held[t]))

@@ -314,6 +314,30 @@ func TestLockedItems(t *testing.T) {
 	}
 }
 
+func TestHeldCount(t *testing.T) {
+	m := NewManager()
+	if m.HeldCount(1) != 0 {
+		t.Fatal("fresh manager reports held locks")
+	}
+	m.Acquire(1, 1, Write)
+	m.Acquire(1, 2, Read)
+	m.Acquire(1, 2, Read) // re-entrant: no double count
+	m.Acquire(2, 3, Write)
+	if got := m.HeldCount(1); got != 2 {
+		t.Fatalf("HeldCount(1) = %d, want 2", got)
+	}
+	if got := len(m.HeldBy(1)); got != m.HeldCount(1) {
+		t.Fatalf("HeldCount(1) = %d disagrees with HeldBy length %d", m.HeldCount(1), got)
+	}
+	m.ReleaseAll(1)
+	if got := m.HeldCount(1); got != 0 {
+		t.Fatalf("HeldCount(1) after release = %d, want 0", got)
+	}
+	if got := m.HeldCount(2); got != 1 {
+		t.Fatalf("HeldCount(2) = %d, want 1", got)
+	}
+}
+
 // Property: under random write-lock traffic with wound-style releases, the
 // table never has two holders of one item and always passes CheckInvariants.
 func TestQuickWriteLockExclusivity(t *testing.T) {

@@ -106,13 +106,27 @@ func (r *Run) Observe(class int, arrival, finish, deadline time.Duration) {
 	r.latenessSamples = append(r.latenessSamples, tardy)
 }
 
-// percentile returns the p-th percentile (0..100) of sorted samples.
+// percentile returns the p-th percentile (0..100) of sorted samples by
+// linear interpolation between closest ranks (the R-7/NumPy definition).
+// The previous truncating index biased every percentile toward the sample
+// below the true rank; interpolating removes the systematic underestimate.
 func percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	idx := int(p / 100 * float64(len(sorted)-1))
-	return sorted[idx]
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if frac == 0 || lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
 }
 
 // Result converts the raw counters into the derived per-run metrics.
@@ -220,8 +234,13 @@ func (r Result) String() string {
 
 // Aggregate accumulates Results across seeds.
 type Aggregate struct {
+	Committed       stats.Accumulator
+	Dropped         stats.Accumulator
+	Restarts        stats.Accumulator
 	MissPercent     stats.Accumulator
 	MeanLatenessMs  stats.Accumulator
+	MeanResponseMs  stats.Accumulator
+	ElapsedMs       stats.Accumulator
 	P90LatenessMs   stats.Accumulator
 	P99LatenessMs   stats.Accumulator
 	SignedLateness  stats.Accumulator
@@ -241,8 +260,13 @@ type Aggregate struct {
 
 // Add folds one run's result into the aggregate.
 func (a *Aggregate) Add(r Result) {
+	a.Committed.Add(float64(r.Committed))
+	a.Dropped.Add(float64(r.Dropped))
+	a.Restarts.Add(float64(r.Restarts))
 	a.MissPercent.Add(r.MissPercent)
 	a.MeanLatenessMs.Add(r.MeanLatenessMs)
+	a.MeanResponseMs.Add(r.MeanResponseMs)
+	a.ElapsedMs.Add(float64(r.Elapsed) / float64(time.Millisecond))
 	a.P90LatenessMs.Add(r.P90LatenessMs)
 	a.P99LatenessMs.Add(r.P99LatenessMs)
 	a.SignedLateness.Add(r.MeanSignedLatenessMs)
@@ -270,11 +294,18 @@ func (a *Aggregate) Add(r Result) {
 // N returns the number of runs aggregated.
 func (a *Aggregate) N() int { return a.MissPercent.N() }
 
-// Summary returns the across-run means as a Result.
+// Summary returns the across-run means as a Result. Count-valued fields
+// (Committed, Dropped, Restarts) are the rounded across-run means, so a
+// summary of identical runs preserves their counts exactly.
 func (a *Aggregate) Summary() Result {
 	return Result{
+		Committed:             int(a.Committed.Mean() + 0.5),
+		Dropped:               int(a.Dropped.Mean() + 0.5),
+		Restarts:              int(a.Restarts.Mean() + 0.5),
 		MissPercent:           a.MissPercent.Mean(),
 		MeanLatenessMs:        a.MeanLatenessMs.Mean(),
+		MeanResponseMs:        a.MeanResponseMs.Mean(),
+		Elapsed:               time.Duration(a.ElapsedMs.Mean() * float64(time.Millisecond)),
 		P90LatenessMs:         a.P90LatenessMs.Mean(),
 		P99LatenessMs:         a.P99LatenessMs.Mean(),
 		MeanSignedLatenessMs:  a.SignedLateness.Mean(),

@@ -155,6 +155,59 @@ func TestPercentileEdge(t *testing.T) {
 	}
 }
 
+// TestPercentileKnownQuantiles pins the interpolated definition to known
+// values (the R-7 quantiles of 1..5); the old truncating index returned 4
+// for P90 and 2 for P30.
+func TestPercentileKnownQuantiles(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {30, 2.2}, {50, 3}, {75, 4}, {90, 4.6}, {100, 5},
+	}
+	for _, c := range cases {
+		if got := percentile(s, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("percentile(1..5, %v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := percentile([]float64{10, 20}, 50); got != 15 {
+		t.Errorf("percentile({10,20}, 50) = %v, want 15 (midpoint)", got)
+	}
+	if got := percentile(s, -5); got != 1 {
+		t.Errorf("percentile below range = %v, want first sample", got)
+	}
+	if got := percentile(s, 105); got != 5 {
+		t.Errorf("percentile above range = %v, want last sample", got)
+	}
+}
+
+// TestSummaryCarriesCounts asserts Summary does not zero the count-valued
+// and duration fields: aggregating identical runs must preserve Committed,
+// Dropped, Restarts, MeanResponseMs and Elapsed exactly.
+func TestSummaryCarriesCounts(t *testing.T) {
+	var a Aggregate
+	r := Result{Committed: 100, Dropped: 3, Restarts: 17, MeanResponseMs: 42.5, Elapsed: 2 * time.Second}
+	a.Add(r)
+	a.Add(r)
+	s := a.Summary()
+	if s.Committed != 100 || s.Dropped != 3 || s.Restarts != 17 {
+		t.Fatalf("Summary dropped counts: %+v", s)
+	}
+	if s.MeanResponseMs != 42.5 {
+		t.Fatalf("Summary MeanResponseMs = %v, want 42.5", s.MeanResponseMs)
+	}
+	if s.Elapsed != 2*time.Second {
+		t.Fatalf("Summary Elapsed = %v, want 2s", s.Elapsed)
+	}
+	// Non-identical runs: the rounded mean.
+	a.Add(Result{Committed: 103, Restarts: 18, Elapsed: 4 * time.Second})
+	s = a.Summary()
+	if s.Committed != 101 { // mean 101, exact
+		t.Fatalf("Summary Committed = %d, want 101", s.Committed)
+	}
+	if ms := s.Elapsed.Round(time.Millisecond); ms != 2667*time.Millisecond {
+		t.Fatalf("Summary Elapsed = %v, want ≈2.667s (mean of 2s, 2s, 4s)", s.Elapsed)
+	}
+}
+
 func TestResultString(t *testing.T) {
 	s := Result{MissPercent: 12.5, MeanLatenessMs: 42, RestartsPerTxn: 0.5}.String()
 	if !strings.Contains(s, "12.50%") || !strings.Contains(s, "42.00ms") {
