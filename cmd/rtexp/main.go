@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -27,17 +29,46 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment or figure ID to run (or 'all', 'paper', 'table1', 'table2')")
-		list    = flag.Bool("list", false, "list available experiments")
-		seeds   = flag.Int("seeds", 0, "override seeds per point (0 = paper fidelity)")
-		count   = flag.Int("count", 0, "override transactions per run (0 = paper fidelity)")
-		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		format  = flag.String("format", "text", "output format: text, md or csv")
-		plots   = flag.Bool("plot", false, "also render ASCII charts of the figures")
-		outDir  = flag.String("out", "", "also write one CSV file per figure into this directory")
-		quiet   = flag.Bool("q", false, "suppress progress output")
+		exp        = flag.String("exp", "", "experiment or figure ID to run (or 'all', 'paper', 'table1', 'table2')")
+		list       = flag.Bool("list", false, "list available experiments")
+		seeds      = flag.Int("seeds", 0, "override seeds per point (0 = paper fidelity)")
+		count      = flag.Int("count", 0, "override transactions per run (0 = paper fidelity)")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		format     = flag.String("format", "text", "output format: text, md or csv")
+		plots      = flag.Bool("plot", false, "also render ASCII charts of the figures")
+		outDir     = flag.String("out", "", "also write one CSV file per figure into this directory")
+		quiet      = flag.Bool("q", false, "suppress progress output")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtexp: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "rtexp: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rtexp: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "rtexp: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		listExperiments()
@@ -83,11 +114,20 @@ func main() {
 		fmt.Println()
 	}
 
+	allStart := time.Now()
+	totalRuns := 0
 	for _, def := range defs {
 		opt := rtdbs.ExperimentOptions{Seeds: *seeds, Count: *count, Workers: *workers}
+		defRuns := 0
+		bar := progressBar(def)
+		opt.Progress = func(done, total int) {
+			defRuns = total
+			if !*quiet {
+				bar(done, total)
+			}
+		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "== %s: %s\n", def.ID, def.Title)
-			opt.Progress = progressBar(def)
 		}
 		start := time.Now()
 		res, err := rtdbs.RunExperiment(def, opt)
@@ -95,6 +135,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rtexp: %v\n", err)
 			os.Exit(1)
 		}
+		totalRuns += defRuns
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "\r   done in %v%s\n", time.Since(start).Round(time.Millisecond), strings.Repeat(" ", 20))
 		}
@@ -121,6 +162,15 @@ func main() {
 				fmt.Println(ch.Render())
 			}
 		}
+	}
+	if *exp == "all" {
+		elapsed := time.Since(allStart)
+		rps := 0.0
+		if elapsed > 0 {
+			rps = float64(totalRuns) / elapsed.Seconds()
+		}
+		fmt.Fprintf(os.Stderr, "== all experiments: %d runs in %v (%.1f runs/sec)\n",
+			totalRuns, elapsed.Round(time.Millisecond), rps)
 	}
 }
 

@@ -88,6 +88,10 @@ func (p *aedPolicy) Wounds(_ *Engine, requester, holder *Txn) bool {
 func (p *aedPolicy) FiltersIOWait() bool { return false }
 func (p *aedPolicy) Inherits() bool      { return false }
 
+// Staticness: group membership depends on the whole live set and the
+// feedback-adapted HIT capacity, both of which move between passes.
+func (p *aedPolicy) Staticness() Staticness { return EvalDynamic }
+
 // observeCommit feeds the HIT-ratio controller. The engine calls it on
 // every commit (and on every firm-mode drop, which counts as a miss).
 func (p *aedPolicy) observeCommit(e *Engine, t *Txn, missed bool) {

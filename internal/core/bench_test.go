@@ -1,33 +1,41 @@
 package core
 
-// Scheduling hot-path benchmarks: full CCA simulations with the incremental
-// conflict index against the original full-scan engine
-// (Config.NaiveConflictScan). The pair of configurations mirrors the two
-// regimes that matter:
+// Scheduling hot-path benchmarks: full CCA simulations across the engine's
+// fast-path matrix. Two axes (see Config):
+//
+//   - NaiveConflictScan: incremental conflict index vs the original
+//     O(live × DBSize/64) full rescans;
+//   - NaiveDispatch: incremental memoised dispatch pass + pooled event
+//     calendar + engine-owned scratch vs the original re-evaluate-and-
+//     stable-sort pass with an allocate-per-event calendar.
+//
+// The configurations mirror the two regimes that matter:
 //
 //   - base-mm: the paper's Table 1 database (30 items) — heavily contended,
-//     small bitsets, the index's worst case;
+//     small bitsets, the fast paths' worst case;
 //   - large-db-high-mpl: a large database (8192 items) driven past
 //     saturation so hundreds of transactions are live at once — the regime
-//     the naive O(live × DBSize/64) rescans collapse in.
+//     the naive rescans and per-pass sorting collapse in.
 //
 // `BENCH_BASELINE=1 go test ./internal/core -run TestWriteBenchBaseline`
 // refreshes the committed BENCH_core.json baseline (see DESIGN.md) so
-// future changes can track the trajectory.
+// future changes can track the trajectory. Run the benchmarks themselves
+// with -benchmem: allocation counts are first-class here — the dispatch
+// fast path's whole point is an allocation-free steady state.
 
 import (
 	"encoding/json"
 	"os"
 	"testing"
-	"time"
 )
 
-func benchCCAConfig(dbSize, count int, rate float64, naive bool) Config {
+func benchCCAConfig(dbSize, count int, rate float64, naiveScan, naiveDispatch bool) Config {
 	cfg := MainMemoryConfig(CCA, 7)
 	cfg.Workload.DBSize = dbSize
 	cfg.Workload.Count = count
 	cfg.Workload.ArrivalRate = rate
-	cfg.NaiveConflictScan = naive
+	cfg.NaiveConflictScan = naiveScan
+	cfg.NaiveDispatch = naiveDispatch
 	return cfg
 }
 
@@ -45,67 +53,92 @@ func benchRun(b *testing.B, cfg Config) {
 	}
 }
 
-func BenchmarkCCABaseIndexed(b *testing.B) { benchRun(b, benchCCAConfig(30, 300, 8, false)) }
-func BenchmarkCCABaseNaive(b *testing.B)   { benchRun(b, benchCCAConfig(30, 300, 8, true)) }
+// Fast = incremental everything (the default engine). NaiveDispatch keeps
+// the conflict index but restores the original dispatch pass and calendar —
+// the previous PR's engine, the baseline this PR's allocation work is
+// measured against. NaiveFull disables both fast paths.
+func BenchmarkCCABaseFast(b *testing.B)          { benchRun(b, benchCCAConfig(30, 300, 8, false, false)) }
+func BenchmarkCCABaseNaiveDispatch(b *testing.B) { benchRun(b, benchCCAConfig(30, 300, 8, false, true)) }
+func BenchmarkCCABaseNaiveScan(b *testing.B)     { benchRun(b, benchCCAConfig(30, 300, 8, true, false)) }
+func BenchmarkCCABaseNaiveFull(b *testing.B)     { benchRun(b, benchCCAConfig(30, 300, 8, true, true)) }
 
-func BenchmarkCCALargeDBHighMPLIndexed(b *testing.B) {
-	benchRun(b, benchCCAConfig(8192, 400, 25, false))
+func BenchmarkCCALargeDBHighMPLFast(b *testing.B) {
+	benchRun(b, benchCCAConfig(8192, 400, 25, false, false))
 }
 
-func BenchmarkCCALargeDBHighMPLNaive(b *testing.B) {
-	benchRun(b, benchCCAConfig(8192, 400, 25, true))
+func BenchmarkCCALargeDBHighMPLNaiveDispatch(b *testing.B) {
+	benchRun(b, benchCCAConfig(8192, 400, 25, false, true))
 }
 
-// BenchmarkEDFHPBaseIndexed measures the index's overhead on a policy that
-// never queries penalties — only the P-list statistic uses it — to keep the
-// maintenance cost honest for the baselines.
-func BenchmarkEDFHPBaseIndexed(b *testing.B) {
-	cfg := benchCCAConfig(30, 300, 8, false)
+func BenchmarkCCALargeDBHighMPLNaiveScan(b *testing.B) {
+	benchRun(b, benchCCAConfig(8192, 400, 25, true, false))
+}
+
+func BenchmarkCCALargeDBHighMPLNaiveFull(b *testing.B) {
+	benchRun(b, benchCCAConfig(8192, 400, 25, true, true))
+}
+
+// The EDF-HP pair isolates the static-policy win: with EvalStatic the fast
+// pass stops calling Evaluate entirely after each transaction's first pass.
+func BenchmarkEDFHPBaseFast(b *testing.B) {
+	cfg := benchCCAConfig(30, 300, 8, false, false)
 	cfg.Policy = EDFHP
 	benchRun(b, cfg)
 }
 
-func BenchmarkEDFHPBaseNaive(b *testing.B) {
-	cfg := benchCCAConfig(30, 300, 8, true)
+func BenchmarkEDFHPBaseNaiveDispatch(b *testing.B) {
+	cfg := benchCCAConfig(30, 300, 8, false, true)
 	cfg.Policy = EDFHP
 	benchRun(b, cfg)
+}
+
+// benchModeResult is one engine mode's measurement in BENCH_core.json.
+type benchModeResult struct {
+	Ms       float64 `json:"ms"`
+	BOp      int64   `json:"b_op"`
+	AllocsOp int64   `json:"allocs_op"`
 }
 
 // benchBaselineEntry is one row of BENCH_core.json.
 type benchBaselineEntry struct {
-	Case      string  `json:"case"`
-	DBSize    int     `json:"db_size"`
-	Txns      int     `json:"txns"`
-	Rate      float64 `json:"arrival_rate"`
-	IndexedMs float64 `json:"indexed_ms"`
-	NaiveMs   float64 `json:"naive_ms"`
-	Speedup   float64 `json:"speedup"`
+	Case   string  `json:"case"`
+	DBSize int     `json:"db_size"`
+	Txns   int     `json:"txns"`
+	Rate   float64 `json:"arrival_rate"`
+	// Fast is the default engine (incremental dispatch + conflict index +
+	// pooled calendar). NaiveDispatch keeps the index but restores the
+	// original dispatch pass and allocate-per-event calendar (the previous
+	// baseline the allocation work is measured against). NaiveFull disables
+	// both fast paths (the original seed engine).
+	Fast          benchModeResult `json:"fast"`
+	NaiveDispatch benchModeResult `json:"naive_dispatch"`
+	NaiveFull     benchModeResult `json:"naive_full"`
+	// SpeedupVsNaiveDispatch and AllocRatioVsNaiveDispatch are this PR's
+	// wall-time and allocs/op improvements; SpeedupVsNaiveFull is the
+	// cumulative improvement over the seed engine.
+	SpeedupVsNaiveDispatch    float64 `json:"speedup_vs_naive_dispatch"`
+	AllocRatioVsNaiveDispatch float64 `json:"alloc_ratio_vs_naive_dispatch"`
+	SpeedupVsNaiveFull        float64 `json:"speedup_vs_naive_full"`
 }
 
 // TestWriteBenchBaseline refreshes the repository's BENCH_core.json when
-// BENCH_BASELINE=1 is set. It records the wall time of the indexed and
-// naive engines on both benchmark configurations (best of three runs) and
-// fails if the large-DB/high-MPL case regresses below a 2× speedup.
+// BENCH_BASELINE=1 is set. It measures wall time, B/op and allocs/op for the
+// three engine modes on both benchmark configurations via testing.Benchmark
+// and enforces the acceptance floors: on large-db-high-mpl the fast engine
+// must allocate ≥5× less than the naive-dispatch engine and run ≥2× faster
+// than the fully naive engine, and on base-mm the fast engine's wall time
+// must not regress against naive dispatch.
 func TestWriteBenchBaseline(t *testing.T) {
 	if os.Getenv("BENCH_BASELINE") == "" {
 		t.Skip("set BENCH_BASELINE=1 to refresh BENCH_core.json (see DESIGN.md)")
 	}
-	measure := func(cfg Config) float64 {
-		best := 0.0
-		for r := 0; r < 3; r++ {
-			start := time.Now()
-			e, err := New(cfg)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if _, err := e.Run(); err != nil {
-				t.Fatal(err)
-			}
-			if d := float64(time.Since(start)) / float64(time.Millisecond); best == 0 || d < best {
-				best = d
-			}
+	measure := func(cfg Config) benchModeResult {
+		r := testing.Benchmark(func(b *testing.B) { benchRun(b, cfg) })
+		return benchModeResult{
+			Ms:       float64(r.NsPerOp()) / 1e6,
+			BOp:      r.AllocedBytesPerOp(),
+			AllocsOp: r.AllocsPerOp(),
 		}
-		return best
 	}
 	cases := []struct {
 		name   string
@@ -121,23 +154,38 @@ func TestWriteBenchBaseline(t *testing.T) {
 		Refresh string               `json:"refresh"`
 		Cases   []benchBaselineEntry `json:"cases"`
 	}{
-		Note:    "CCA engine wall time, incremental conflict index vs naive full scans (best of 3)",
+		Note:    "CCA engine wall time and allocations per full run: fast (incremental dispatch + conflict index + pooled calendar) vs naive_dispatch (index only) vs naive_full (original seed engine); measured by testing.Benchmark",
 		Refresh: "BENCH_BASELINE=1 go test ./internal/core -run TestWriteBenchBaseline",
 	}
 	for _, c := range cases {
-		idx := measure(benchCCAConfig(c.dbSize, c.count, c.rate, false))
-		naive := measure(benchCCAConfig(c.dbSize, c.count, c.rate, true))
-		e := benchBaselineEntry{
-			Case: c.name, DBSize: c.dbSize, Txns: c.count, Rate: c.rate,
-			IndexedMs: idx, NaiveMs: naive,
+		e := benchBaselineEntry{Case: c.name, DBSize: c.dbSize, Txns: c.count, Rate: c.rate}
+		e.Fast = measure(benchCCAConfig(c.dbSize, c.count, c.rate, false, false))
+		e.NaiveDispatch = measure(benchCCAConfig(c.dbSize, c.count, c.rate, false, true))
+		e.NaiveFull = measure(benchCCAConfig(c.dbSize, c.count, c.rate, true, true))
+		if e.Fast.Ms > 0 {
+			e.SpeedupVsNaiveDispatch = e.NaiveDispatch.Ms / e.Fast.Ms
+			e.SpeedupVsNaiveFull = e.NaiveFull.Ms / e.Fast.Ms
 		}
-		if idx > 0 {
-			e.Speedup = naive / idx
+		if e.Fast.AllocsOp > 0 {
+			e.AllocRatioVsNaiveDispatch = float64(e.NaiveDispatch.AllocsOp) / float64(e.Fast.AllocsOp)
 		}
 		out.Cases = append(out.Cases, e)
-		t.Logf("%s: indexed %.1fms naive %.1fms speedup %.2fx", c.name, idx, naive, e.Speedup)
-		if c.name == "large-db-high-mpl" && e.Speedup < 2 {
-			t.Errorf("%s: speedup %.2fx < 2x acceptance floor", c.name, e.Speedup)
+		t.Logf("%s: fast %.1fms/%d allocs, naive-dispatch %.1fms/%d allocs, naive-full %.1fms/%d allocs → speedup %.2fx, alloc ratio %.1fx, vs seed %.2fx",
+			c.name, e.Fast.Ms, e.Fast.AllocsOp, e.NaiveDispatch.Ms, e.NaiveDispatch.AllocsOp,
+			e.NaiveFull.Ms, e.NaiveFull.AllocsOp,
+			e.SpeedupVsNaiveDispatch, e.AllocRatioVsNaiveDispatch, e.SpeedupVsNaiveFull)
+		switch c.name {
+		case "large-db-high-mpl":
+			if e.AllocRatioVsNaiveDispatch < 5 {
+				t.Errorf("%s: alloc ratio %.1fx < 5x acceptance floor", c.name, e.AllocRatioVsNaiveDispatch)
+			}
+			if e.SpeedupVsNaiveFull < 2 {
+				t.Errorf("%s: speedup vs seed engine %.2fx < 2x acceptance floor", c.name, e.SpeedupVsNaiveFull)
+			}
+		case "base-mm":
+			if e.Fast.Ms > e.NaiveDispatch.Ms*1.15 {
+				t.Errorf("%s: fast wall time %.1fms regresses vs naive dispatch %.1fms", c.name, e.Fast.Ms, e.NaiveDispatch.Ms)
+			}
 		}
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

@@ -111,6 +111,15 @@ type Config struct {
 	// equivalence suite asserts it); the flag exists for that suite and
 	// for benchmarking the index (see BENCH_core.json).
 	NaiveConflictScan bool
+	// NaiveDispatch disables the allocation-free incremental dispatch pass
+	// and the pooled event calendar, restoring the original scheduling hot
+	// path: every pass re-evaluates every live transaction's priority,
+	// rebuilds and stable-sorts a fresh dispatch pool, scans the desired
+	// set linearly, and every simulator event is a fresh heap allocation.
+	// Behaviour is bit-identical either way (the equivalence suite asserts
+	// it); the flag exists for that suite and for the allocation
+	// benchmarks (see BENCH_core.json).
+	NaiveDispatch bool
 	// MaxEvents bounds the simulation as a runaway guard; 0 picks a
 	// generous default derived from the workload size.
 	MaxEvents uint64

@@ -35,10 +35,45 @@ import (
 // only. The engine keeps the original full-scan implementations alongside
 // (Config.NaiveConflictScan); the equivalence suite in conflict_test.go
 // asserts both produce bit-identical schedules and metrics.
+// itemHolders lists the partially executed transactions holding one item.
+// The first holder is stored inline: without shared locks an item never has
+// a second holder, so the common case allocates no per-item slice at all.
+type itemHolders struct {
+	first *Txn   // nil = no holder
+	extra []*Txn // co-holders beyond the first (shared readers)
+}
+
+func (h *itemHolders) add(t *Txn) {
+	if h.first == nil {
+		h.first = t
+		return
+	}
+	h.extra = append(h.extra, t)
+}
+
+func (h *itemHolders) remove(t *Txn) {
+	if h.first == t {
+		if n := len(h.extra); n > 0 {
+			h.first = h.extra[n-1]
+			h.extra = h.extra[:n-1]
+		} else {
+			h.first = nil
+		}
+		return
+	}
+	for i, v := range h.extra {
+		if v == t {
+			n := len(h.extra)
+			h.extra[i] = h.extra[n-1]
+			h.extra = h.extra[:n-1]
+			return
+		}
+	}
+}
+
 type conflictIndex struct {
-	// hasAt[i] lists the live transactions that have accessed item i, in
-	// acquisition order.
-	hasAt [][]*Txn
+	// hasAt[i] holds the live transactions that have accessed item i.
+	hasAt []itemHolders
 	// plist holds the live transactions with a non-empty has-set; each
 	// member's plistIdx is its position (swap-remove keeps it dense).
 	plist []*Txn
@@ -53,13 +88,13 @@ type conflictIndex struct {
 // gen starts at 1 so a zero Txn.penaltyGen (or an explicit invalidation to
 // 0) can never match a live generation.
 func newConflictIndex(dbSize int) *conflictIndex {
-	return &conflictIndex{hasAt: make([][]*Txn, dbSize), gen: 1}
+	return &conflictIndex{hasAt: make([]itemHolders, dbSize), gen: 1}
 }
 
 // hasAdd records that t has accessed (locked) a new item. Callers must not
 // report an item already in t.has.
 func (ci *conflictIndex) hasAdd(t *Txn, it txn.Item) {
-	ci.hasAt[int(it)] = append(ci.hasAt[int(it)], t)
+	ci.hasAt[int(it)].add(t)
 	if t.plistIdx < 0 {
 		t.plistIdx = len(ci.plist)
 		ci.plist = append(ci.plist, t)
@@ -76,14 +111,7 @@ func (ci *conflictIndex) deindexHas(t *Txn) {
 		return
 	}
 	t.has.forEach(func(it txn.Item) {
-		hs := ci.hasAt[int(it)]
-		for i, h := range hs {
-			if h == t {
-				hs[i] = hs[len(hs)-1]
-				ci.hasAt[int(it)] = hs[:len(hs)-1]
-				break
-			}
-		}
+		ci.hasAt[int(it)].remove(t)
 	})
 	last := len(ci.plist) - 1
 	moved := ci.plist[last]
@@ -102,16 +130,24 @@ func (ci *conflictIndex) deindexHas(t *Txn) {
 func (ci *conflictIndex) penalty(e *Engine, t *Txn) time.Duration {
 	ci.stamp++
 	var sum time.Duration
+	visit := func(p *Txn) {
+		if p == t || p.seenStamp == ci.stamp {
+			return
+		}
+		p.seenStamp = ci.stamp
+		sum += e.serviceNow(p)
+		if e.cfg.PenaltyIncludesRollback {
+			sum += e.rollbackCost(p)
+		}
+	}
 	t.might.forEach(func(it txn.Item) {
-		for _, p := range ci.hasAt[int(it)] {
-			if p == t || p.seenStamp == ci.stamp {
-				continue
-			}
-			p.seenStamp = ci.stamp
-			sum += e.serviceNow(p)
-			if e.cfg.PenaltyIncludesRollback {
-				sum += e.rollbackCost(p)
-			}
+		hs := &ci.hasAt[int(it)]
+		if hs.first == nil {
+			return
+		}
+		visit(hs.first)
+		for _, p := range hs.extra {
+			visit(p)
 		}
 	})
 	return sum
@@ -146,9 +182,10 @@ func (ci *conflictIndex) verify(e *Engine) {
 	if live != len(ci.plist) {
 		panic(fmt.Sprintf("core: P-list has %d members, %d of which are live", len(ci.plist), live))
 	}
-	for i, hs := range ci.hasAt {
-		seen := make(map[*Txn]bool, len(hs))
-		for _, t := range hs {
+	for i := range ci.hasAt {
+		hs := &ci.hasAt[i]
+		seen := make(map[*Txn]bool, 1+len(hs.extra))
+		check := func(t *Txn) {
 			if seen[t] {
 				panic(fmt.Sprintf("core: hasAt[%d] lists T%d twice", i, t.ID()))
 			}
@@ -157,10 +194,23 @@ func (ci *conflictIndex) verify(e *Engine) {
 				panic(fmt.Sprintf("core: stale hasAt entry T%d item %d", t.ID(), i))
 			}
 		}
+		if hs.first != nil {
+			check(hs.first)
+		}
+		for _, t := range hs.extra {
+			check(t)
+		}
+		if hs.first == nil && len(hs.extra) > 0 {
+			panic(fmt.Sprintf("core: hasAt[%d] has overflow holders but no first", i))
+		}
 	}
 	for _, t := range e.live {
 		t.has.forEach(func(it txn.Item) {
-			for _, h := range ci.hasAt[int(it)] {
+			hs := &ci.hasAt[int(it)]
+			if hs.first == t {
+				return
+			}
+			for _, h := range hs.extra {
 				if h == t {
 					return
 				}

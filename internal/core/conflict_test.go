@@ -1,11 +1,14 @@
 package core
 
-// Equivalence suite for the incremental conflict index: every run must be
+// Equivalence suite for the scheduling fast paths: every run must be
 // bit-identical — same per-transaction schedule (commit times, restarts,
-// secondary dispatches) and same metrics — whether the engine maintains the
-// index or performs the original full scans (Config.NaiveConflictScan).
-// The indexed runs execute with CheckInvariants on, which additionally
-// cross-checks the index against a brute-force recomputation at every
+// secondary dispatches) and same metrics — across the full 2×2 matrix of
+// Config.NaiveConflictScan (incremental conflict index vs original full
+// scans) × Config.NaiveDispatch (incremental memoised dispatch pass and
+// pooled event calendar vs original re-evaluate-and-re-sort pass with
+// allocate-per-event calendar). Every variant executes with CheckInvariants
+// on, which additionally cross-checks the index against a brute-force
+// recomputation and the ranked order against the stored priorities at every
 // scheduling point.
 
 import (
@@ -55,29 +58,43 @@ func runForEquivalence(t *testing.T, cfg Config, wl *workload.Workload) ([]txnOu
 	return out, res
 }
 
-// assertEquivalent runs cfg twice — indexed (with invariants verifying the
-// index) and naive — and requires bit-identical schedules and metrics.
+// assertEquivalent runs cfg through the full fast-path matrix — the fully
+// incremental engine (reference), naive conflict scans, naive dispatch, and
+// both naive — and requires bit-identical schedules and metrics everywhere.
+// All four variants run with invariant checking on.
 func assertEquivalent(t *testing.T, name string, cfg Config, wl *workload.Workload) {
 	t.Helper()
-	idxCfg := cfg
-	idxCfg.NaiveConflictScan = false
-	idxCfg.CheckInvariants = true
-	naiveCfg := cfg
-	naiveCfg.NaiveConflictScan = true
-	naiveCfg.CheckInvariants = true
+	ref := cfg
+	ref.NaiveConflictScan = false
+	ref.NaiveDispatch = false
+	ref.CheckInvariants = true
+	refSched, refRes := runForEquivalence(t, ref, wl)
 
-	idxSched, idxRes := runForEquivalence(t, idxCfg, wl)
-	naiveSched, naiveRes := runForEquivalence(t, naiveCfg, wl)
-	if !reflect.DeepEqual(idxSched, naiveSched) {
-		for i := range idxSched {
-			if idxSched[i] != naiveSched[i] {
-				t.Errorf("%s: T%d diverges: indexed %+v, naive %+v", name, i, idxSched[i], naiveSched[i])
-			}
-		}
-		t.Fatalf("%s: schedules diverge between indexed and naive engines", name)
+	variants := []struct {
+		label          string
+		scan, dispatch bool
+	}{
+		{"naive-scan", true, false},
+		{"naive-dispatch", false, true},
+		{"naive-both", true, true},
 	}
-	if !reflect.DeepEqual(idxRes, naiveRes) {
-		t.Fatalf("%s: metrics diverge:\nindexed: %+v\nnaive:   %+v", name, idxRes, naiveRes)
+	for _, v := range variants {
+		c := cfg
+		c.NaiveConflictScan = v.scan
+		c.NaiveDispatch = v.dispatch
+		c.CheckInvariants = true
+		sched, res := runForEquivalence(t, c, wl)
+		if !reflect.DeepEqual(refSched, sched) {
+			for i := range refSched {
+				if refSched[i] != sched[i] {
+					t.Errorf("%s: T%d diverges: incremental %+v, %s %+v", name, i, refSched[i], v.label, sched[i])
+				}
+			}
+			t.Fatalf("%s: schedules diverge between incremental and %s engines", name, v.label)
+		}
+		if !reflect.DeepEqual(refRes, res) {
+			t.Fatalf("%s: metrics diverge:\nincremental: %+v\n%s: %+v", name, refRes, v.label, res)
+		}
 	}
 }
 

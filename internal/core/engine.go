@@ -25,6 +25,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"time"
 
@@ -56,6 +57,31 @@ type Engine struct {
 	all   []*Txn // every transaction, indexed by ID
 	live  []*Txn // arrived, not yet committed, in arrival order
 	slots []*Txn // CPU occupants (nil = idle)
+
+	// Incremental dispatch state (unused when Config.NaiveDispatch keeps
+	// the original re-sort-everything pass):
+	//
+	// ranked mirrors live's membership in priority order (best first, per
+	// less). It is maintained across scheduling points: arrivals append
+	// and mark the order dirty, removals preserve order, and a dispatch
+	// pass re-sorts only when some transaction's priority actually changed
+	// — for statically-prioritised policies that means no sorting at all
+	// after each arrival settles.
+	ranked []*Txn
+	// orderDirty records that ranked's order is stale (an arrival was
+	// appended, or a priority changed since the last sort).
+	orderDirty bool
+	// poolBuf and desiredBuf are engine-owned scratch for the dispatch
+	// pass, reused so steady-state passes allocate nothing.
+	poolBuf    []*Txn
+	desiredBuf []*Txn
+	// passStamp identifies the current dispatch pass; Txn.desiredStamp ==
+	// passStamp marks membership in the pass's desired set in O(1).
+	passStamp uint64
+	// evalMode is the policy's Staticness, downgraded to EvalDynamic when
+	// an EvalConflictClocked policy runs without the conflict index (the
+	// naive penalty scans have no generation to key staleness on).
+	evalMode Staticness
 
 	// ci incrementally tracks might/has overlaps between live
 	// transactions so the scheduling hot paths (PenaltyOfConflict, the
@@ -121,11 +147,18 @@ func NewWithWorkload(cfg Config, wl *workload.Workload) (*Engine, error) {
 			return nil, fmt.Errorf("core: transaction %d arrives before its predecessor", i)
 		}
 	}
+	newSim := sim.New
+	if cfg.NaiveDispatch {
+		// The naive path keeps the original allocate-per-event calendar
+		// so the allocation benchmarks compare against the true baseline;
+		// behaviour is identical either way.
+		newSim = sim.NewUnpooled
+	}
 	e := &Engine{
 		cfg:    cfg,
 		policy: newPolicy(cfg),
-		sim:    sim.New(),
-		lm:     lock.NewManager(),
+		sim:    newSim(),
+		lm:     lock.NewManagerSized(cfg.Workload.DBSize, len(wl.Txns)),
 		store:  db.New(cfg.Workload.DBSize),
 		wl:     wl,
 		slots:  make([]*Txn, cfg.NumCPUs),
@@ -136,6 +169,10 @@ func NewWithWorkload(cfg Config, wl *workload.Workload) (*Engine, error) {
 	if !cfg.NaiveConflictScan {
 		e.ci = newConflictIndex(cfg.Workload.DBSize)
 	}
+	e.evalMode = e.policy.Staticness()
+	if e.evalMode == EvalConflictClocked && e.ci == nil {
+		e.evalMode = EvalDynamic
+	}
 	if cfg.Workload.DiskAccessProb > 0 {
 		n := cfg.NumDisks
 		if n <= 0 {
@@ -145,25 +182,46 @@ func NewWithWorkload(cfg Config, wl *workload.Workload) (*Engine, error) {
 			e.disks = append(e.disks, disk.New(e.sim, cfg.Workload.DiskAccessTime, cfg.DiskDiscipline))
 		}
 	}
+	// The Txn records and their bitsets are carved out of two slab
+	// allocations: with thousands of transactions × (might + has [+
+	// mightFull]) sets, individual allocations dominate construction cost.
+	words := (cfg.Workload.DBSize + 63) / 64
+	nsets := 0
+	for i := range wl.Txns {
+		nsets += 2
+		if len(wl.Txns[i].MightFull) > 0 {
+			nsets += 1
+		}
+	}
+	slab := make([]uint64, nsets*words)
+	carve := func(items []txn.Item) bitset {
+		b := bitset(slab[:words:words])
+		slab = slab[words:]
+		for _, it := range items {
+			b.add(it)
+		}
+		return b
+	}
+	txns := make([]Txn, len(wl.Txns))
+	e.all = make([]*Txn, 0, len(wl.Txns))
 	for i := range wl.Txns {
 		spec := &wl.Txns[i]
-		t := &Txn{
-			Spec:      spec,
-			might:     fromItems(cfg.Workload.DBSize, spec.Items),
-			has:       newBitset(cfg.Workload.DBSize),
-			cpu:       -1,
-			plistIdx:  -1,
-			inherited: negInf,
-		}
+		t := &txns[i]
+		t.Spec = spec
+		t.might = carve(spec.Items)
+		t.has = carve(nil)
+		t.cpu = -1
+		t.plistIdx = -1
+		t.inherited = negInf
 		if len(spec.MightFull) > 0 && !cfg.PessimisticAnalysis {
 			// Decision-point transaction: until the decision point
 			// executes, the scheduler must assume both branches.
 			t.mightNarrow = t.might
-			t.mightFull = fromItems(cfg.Workload.DBSize, spec.MightFull)
+			t.mightFull = carve(spec.MightFull)
 			t.might = t.mightFull
 		} else if len(spec.MightFull) > 0 {
 			// Pessimistic mode: the union set for the whole lifetime.
-			t.might = fromItems(cfg.Workload.DBSize, spec.MightFull)
+			t.might = carve(spec.MightFull)
 		}
 		for _, r := range spec.Reads {
 			if r {
@@ -171,6 +229,10 @@ func NewWithWorkload(cfg Config, wl *workload.Workload) (*Engine, error) {
 				break
 			}
 		}
+		// Recurring event callbacks, built once so the hot path never
+		// allocates a closure per scheduled event.
+		t.updateDoneFn = func() { e.onUpdateDone(t) }
+		t.rollbackDoneFn = func() { e.onRollbackDone(t, t.pendingRollback) }
 		e.all = append(e.all, t)
 	}
 	e.run.CPUs = cfg.NumCPUs
@@ -315,7 +377,7 @@ func (e *Engine) penaltyOfConflictScan(t *Txn) time.Duration {
 // current CPU slice of a running transaction.
 func (e *Engine) serviceNow(p *Txn) time.Duration {
 	s := p.service
-	if p.state == StateRunning && p.cpuEvent != nil {
+	if p.state == StateRunning && p.cpuEvent.Pending() {
 		s += time.Duration(e.sim.Now() - p.sliceStart)
 	}
 	return s
@@ -338,7 +400,11 @@ func (e *Engine) onArrival(t *Txn) {
 	e.note()
 	t.state = StateReady
 	e.live = append(e.live, t)
-	e.tracef("T%d arrives (deadline %.1fms, %d items)", t.ID(), ms(t.Spec.Deadline), len(t.Spec.Items))
+	e.ranked = append(e.ranked, t)
+	e.orderDirty = true
+	if e.trace != nil {
+		e.tracef("T%d arrives (deadline %.1fms, %d items)", t.ID(), ms(t.Spec.Deadline), len(t.Spec.Items))
+	}
 	e.emit(trace.Event{Kind: trace.Arrival, Txn: t.ID(), Other: -1, Item: -1})
 	if e.cfg.FirmDeadlines {
 		e.sim.At(sim.Time(t.Spec.Deadline), func() { e.onDeadline(t) })
@@ -352,7 +418,7 @@ func (e *Engine) onArrival(t *Txn) {
 func (e *Engine) onUpdateDone(t *Txn) {
 	e.note()
 	elapsed := time.Duration(e.sim.Now() - t.sliceStart)
-	t.cpuEvent = nil
+	t.cpuEvent = sim.Handle{}
 	t.service += elapsed
 	e.run.CPUBusy += elapsed
 	t.remain = 0
@@ -393,14 +459,16 @@ func (e *Engine) onIODone(t *Txn, req *disk.Request) {
 	t.ioReq = nil
 	t.ioDone = true
 	t.state = StateReady
-	e.tracef("T%d IO complete (item %d/%d)", t.ID(), t.next+1, len(t.Spec.Items))
+	if e.trace != nil {
+		e.tracef("T%d IO complete (item %d/%d)", t.ID(), t.next+1, len(t.Spec.Items))
+	}
 	e.emit(trace.Event{Kind: trace.IODone, Txn: t.ID(), Other: -1, Item: t.Spec.Items[t.next]})
 	e.reschedule()
 }
 
 func (e *Engine) onRollbackDone(t *Txn, cost time.Duration) {
 	e.note()
-	t.cpuEvent = nil
+	t.cpuEvent = sim.Handle{}
 	t.inRollback = false
 	e.run.CPUBusy += cost
 	e.run.RollbackTime += cost
@@ -494,7 +562,8 @@ func (e *Engine) startItem(t *Txn) {
 		// the update proceeds; the rollback section is not preemptable
 		// (it is system recovery work, a few ms at most).
 		t.inRollback = true
-		t.cpuEvent = e.sim.After(rollback, func() { e.onRollbackDone(t, rollback) })
+		t.pendingRollback = rollback
+		t.cpuEvent = e.sim.After(rollback, t.rollbackDoneFn)
 		return
 	}
 	e.proceedItem(t)
@@ -510,14 +579,16 @@ func (e *Engine) proceedItem(t *Txn) {
 		t.state = StateIOWait
 		e.freeCPU(t)
 		e.diskFor(t.Spec.Items[t.next]).Submit(req)
-		e.tracef("T%d blocks on IO (item %d/%d)", t.ID(), t.next+1, len(t.Spec.Items))
+		if e.trace != nil {
+			e.tracef("T%d blocks on IO (item %d/%d)", t.ID(), t.next+1, len(t.Spec.Items))
+		}
 		e.emit(trace.Event{Kind: trace.IOStart, Txn: t.ID(), Other: -1, Item: t.Spec.Items[t.next]})
 		e.requestReschedule()
 		return
 	}
 	t.remain = t.Spec.Compute
 	t.sliceStart = e.sim.Now()
-	t.cpuEvent = e.sim.After(t.remain, func() { e.onUpdateDone(t) })
+	t.cpuEvent = e.sim.After(t.remain, t.updateDoneFn)
 }
 
 // block suspends t on a data conflict (waiting baselines only).
@@ -601,7 +672,9 @@ func (e *Engine) commit(t *Txn) {
 		o.observeCommit(e, t, time.Duration(t.finish) > t.Spec.Deadline)
 	}
 	e.run.Elapsed = time.Duration(t.finish)
-	e.tracef("T%d commits (lateness %.1fms, restarts %d)", t.ID(), ms(time.Duration(t.finish)-t.Spec.Deadline), t.restarts)
+	if e.trace != nil {
+		e.tracef("T%d commits (lateness %.1fms, restarts %d)", t.ID(), ms(time.Duration(t.finish)-t.Spec.Deadline), t.restarts)
+	}
 	e.emit(trace.Event{Kind: trace.Commit, Txn: t.ID(), Other: -1, Item: -1, Priority: t.priority})
 	e.requestReschedule()
 	if !e.inReschedule {
@@ -633,7 +706,7 @@ func (e *Engine) drop(t *Txn) {
 	if e.ci != nil {
 		e.ci.deindexHas(t) // before has.clear: deindexing reads the has-set
 	}
-	t.cpuEvent = nil
+	t.cpuEvent = sim.Handle{}
 	t.ioReq = nil
 	t.has.clear()
 	t.state = StateDropped
@@ -661,7 +734,7 @@ func (e *Engine) detach(v *Txn) {
 			e.run.CPUBusy += elapsed
 			e.run.RollbackTime += elapsed
 			e.sim.Cancel(v.cpuEvent)
-			v.cpuEvent = nil
+			v.cpuEvent = sim.Handle{}
 			v.inRollback = false
 			e.freeCPU(v)
 			v.state = StateReady
@@ -724,9 +797,9 @@ func (e *Engine) preempt(v *Txn) {
 	if v.inRollback {
 		panic(fmt.Sprintf("core: preempting T%d during rollback", v.ID()))
 	}
-	if v.cpuEvent != nil {
+	if v.cpuEvent.Pending() {
 		e.sim.Cancel(v.cpuEvent)
-		v.cpuEvent = nil
+		v.cpuEvent = sim.Handle{}
 		elapsed := time.Duration(e.sim.Now() - v.sliceStart)
 		v.remain -= elapsed
 		v.service += elapsed
@@ -776,12 +849,19 @@ func (e *Engine) hasAcquired(t *Txn, item txn.Item) {
 func (e *Engine) setMight(t *Txn, b bitset) {
 	t.might = b
 	t.penaltyGen = 0
+	t.evalGen = 0
 }
 
 func (e *Engine) removeLive(t *Txn) {
 	for i, v := range e.live {
 		if v == t {
 			e.live = append(e.live[:i], e.live[i+1:]...)
+			break
+		}
+	}
+	for i, v := range e.ranked {
+		if v == t {
+			e.ranked = append(e.ranked[:i], e.ranked[i+1:]...)
 			return
 		}
 	}
@@ -830,7 +910,11 @@ func (e *Engine) reschedule() {
 			panic("core: reschedule did not converge")
 		}
 		e.rescheduleAgain = false
-		e.dispatchPass()
+		if e.cfg.NaiveDispatch {
+			e.dispatchPassNaive()
+		} else {
+			e.dispatchPass()
+		}
 		if !e.rescheduleAgain {
 			break
 		}
@@ -841,7 +925,12 @@ func (e *Engine) reschedule() {
 	}
 }
 
-func (e *Engine) dispatchPass() {
+// dispatchPassNaive is the original scheduling pass, retained verbatim
+// behind Config.NaiveDispatch: every live transaction is re-evaluated, the
+// dispatch pool is rebuilt and stable-sorted from scratch, and desired-set
+// membership is a linear scan. The equivalence suite asserts the incremental
+// dispatchPass below produces bit-identical schedules and metrics.
+func (e *Engine) dispatchPassNaive() {
 	// Continuous evaluation.
 	for _, t := range e.live {
 		t.priority = e.policy.Evaluate(e, t)
@@ -968,6 +1057,186 @@ func (e *Engine) dispatchPass() {
 	}
 }
 
+// compareTxn is less as a three-way comparison for slices.SortFunc. less is
+// a strict total order (ID tie-break), so the sorted order is unique and any
+// comparison sort — stable or not — produces the same permutation the naive
+// pass's sort.SliceStable does.
+func compareTxn(a, b *Txn) int {
+	if less(a, b) {
+		return -1
+	}
+	if less(b, a) {
+		return 1
+	}
+	return 0
+}
+
+// dispatchPass is the allocation-free scheduling pass. It computes exactly
+// what dispatchPassNaive computes — the equivalence suite asserts bit
+// identity — but avoids the per-pass costs:
+//
+//   - priorities are re-evaluated only when the policy's Staticness contract
+//     says the value could have moved (never for EDF/FCFS/PCP after the
+//     first pass; for CCA only when the clock advanced or a has-set changed;
+//     every pass for LSF/AED);
+//   - the priority order is maintained in e.ranked across passes and
+//     re-sorted only when some effective priority actually changed, instead
+//     of rebuilding and stable-sorting a fresh pool slice;
+//   - the pool and desired sets live in engine-owned scratch buffers, and
+//     desired-set membership is a generation stamp instead of a linear scan.
+//
+// The evaluation loop iterates e.live in arrival order — the same order the
+// naive pass uses — because stateful policies can consume randomness on
+// first evaluation (AED draws its group key lazily), so evaluation order is
+// behaviourally observable.
+func (e *Engine) dispatchPass() {
+	// Continuous evaluation, memoised per the policy's Staticness.
+	now := e.sim.Now()
+	var gen uint64
+	if e.ci != nil {
+		gen = e.ci.gen
+	}
+	inherits := e.policy.Inherits()
+	dirty := e.orderDirty
+	for _, t := range e.live {
+		need := !t.evalValid
+		if !need {
+			switch e.evalMode {
+			case EvalStatic:
+				// A valid base priority is final.
+			case EvalConflictClocked:
+				need = t.evalAt != now || t.evalGen != gen
+			default: // EvalDynamic
+				need = true
+			}
+		}
+		if need {
+			t.basePr = e.policy.Evaluate(e, t)
+			t.evalValid = true
+			t.evalAt, t.evalGen = now, gen
+		}
+		pr := t.basePr
+		if inherits && t.inherited > pr {
+			pr = t.inherited
+		}
+		if pr != t.priority {
+			t.priority = pr
+			dirty = true
+		}
+	}
+	if dirty {
+		slices.SortFunc(e.ranked, compareTxn)
+	}
+	e.orderDirty = false
+
+	// The globally highest-priority live transaction (TH): the first
+	// non-aborting member of the ranked order. less is total, so this is
+	// the same transaction the naive pass's minimum scan finds.
+	var top *Txn
+	for _, t := range e.ranked {
+		if t.state != StateAborting {
+			top = t
+			break
+		}
+	}
+	if top == nil {
+		return
+	}
+
+	// Dispatchable pool, best first: filtering the sorted ranked slice
+	// yields the same order as the naive pass's filter-then-stable-sort.
+	pool := e.poolBuf[:0]
+	for _, t := range e.ranked {
+		if t.state == StateReady || (t.state == StateRunning && !t.inRollback) {
+			pool = append(pool, t)
+		}
+	}
+	e.poolBuf = pool
+
+	// Choose the desired occupants, marking membership with the pass stamp.
+	e.passStamp++
+	stamp := e.passStamp
+	slots := len(e.slots)
+	desired := e.desiredBuf[:0]
+	for _, t := range e.live {
+		if t.state == StateRunning && t.inRollback {
+			t.desiredStamp = stamp
+			desired = append(desired, t) // pinned
+		}
+	}
+	filter := e.policy.FiltersIOWait()
+	admission, hasAdmission := e.policy.(admissionPolicy)
+	for _, c := range pool {
+		if len(desired) >= slots {
+			break
+		}
+		if c != top && filter && !e.compatible(c, desired) {
+			continue
+		}
+		if hasAdmission && c.state != StateRunning {
+			ok, changed := admission.admits(e, c)
+			if changed {
+				// Inheritance was applied: re-rank the pool so the
+				// promoted holder gets the CPU.
+				e.rescheduleAgain = true
+			}
+			if !ok {
+				continue // ceiling-blocked
+			}
+		}
+		c.desiredStamp = stamp
+		desired = append(desired, c)
+	}
+
+	// Progress override for admission policies (PCP); see dispatchPassNaive.
+	if hasAdmission && len(desired) == 0 && len(pool) > 0 {
+		best := pool[0]
+		for _, c := range pool {
+			if c.has.any() {
+				best = c
+				break
+			}
+		}
+		e.tracef("T%d dispatched by PCP progress override", best.ID())
+		best.ceilingExempt = true
+		best.desiredStamp = stamp
+		desired = append(desired, best)
+	}
+	e.desiredBuf = desired
+
+	// Preempt running transactions that lost their slot.
+	for _, s := range e.slots {
+		if s != nil && s.desiredStamp != stamp {
+			e.tracef("T%d preempted", s.ID())
+			e.emit(trace.Event{Kind: trace.Preempt, Txn: s.ID(), Other: -1, Item: -1, Priority: s.priority})
+			e.preempt(s)
+		}
+	}
+
+	// Dispatch the rest onto free slots.
+	for _, d := range desired {
+		if d.state == StateRunning {
+			continue
+		}
+		slot := -1
+		for i, s := range e.slots {
+			if s == nil {
+				slot = i
+				break
+			}
+		}
+		if slot < 0 {
+			panic("core: no free CPU for desired transaction")
+		}
+		e.dispatch(d, slot, d != top && blocked(top))
+		if d.state != StateRunning {
+			// The dispatch immediately blocked or committed; the
+			// pass must be recomputed.
+			return
+		}
+	}
+}
+
 // blocked reports whether the globally top transaction cannot use a CPU.
 func blocked(top *Txn) bool {
 	return top.state == StateIOWait || top.state == StateLockWait
@@ -1025,7 +1294,7 @@ func (e *Engine) dispatch(t *Txn, slot int, asSecondary bool) {
 	if t.remain > 0 {
 		// Resume the interrupted computation.
 		t.sliceStart = e.sim.Now()
-		t.cpuEvent = e.sim.After(t.remain, func() { e.onUpdateDone(t) })
+		t.cpuEvent = e.sim.After(t.remain, t.updateDoneFn)
 		return
 	}
 	e.startItem(t)
@@ -1042,6 +1311,26 @@ func (e *Engine) checkInvariants() {
 	e.lm.CheckInvariants()
 	if e.ci != nil {
 		e.ci.verify(e)
+	}
+	if !e.cfg.NaiveDispatch {
+		// ranked mirrors live's membership and, between scheduling points,
+		// stays sorted by the stored priorities (nothing mutates a priority
+		// outside the dispatch pass, and the pass re-sorts on any change).
+		if len(e.ranked) != len(e.live) {
+			panic(fmt.Sprintf("core: ranked has %d members, live has %d", len(e.ranked), len(e.live)))
+		}
+		inLive := make(map[*Txn]bool, len(e.live))
+		for _, t := range e.live {
+			inLive[t] = true
+		}
+		for i, t := range e.ranked {
+			if !inLive[t] {
+				panic(fmt.Sprintf("core: ranked member T%d not live", t.ID()))
+			}
+			if i > 0 && less(t, e.ranked[i-1]) {
+				panic(fmt.Sprintf("core: ranked order violated at %d (T%d before T%d)", i, e.ranked[i-1].ID(), t.ID()))
+			}
+		}
 	}
 	occupied := make(map[int]bool)
 	for i, s := range e.slots {

@@ -42,6 +42,11 @@ func (pcpPolicy) Wounds(*Engine, *Txn, *Txn) bool { return false }
 func (pcpPolicy) FiltersIOWait() bool { return false }
 func (pcpPolicy) Inherits() bool      { return true }
 
+// Staticness: the base priority is the fixed deadline; ceiling admission
+// and inheritance act outside Evaluate (the engine re-applies the
+// inherited floor every pass regardless of evaluation caching).
+func (pcpPolicy) Staticness() Staticness { return EvalStatic }
+
 // admits implements the ceiling test for dispatching t, applying priority
 // inheritance to the blocking holders when it fails. The second result
 // reports whether any holder's inherited priority was raised (the caller

@@ -5,6 +5,32 @@ import (
 	"time"
 )
 
+// Staticness classifies how a policy's Evaluate output can change over a
+// transaction's life — the contract the engine's incremental dispatch pass
+// uses to skip provably redundant re-evaluations (continuous evaluation
+// with memoisation; the observable priorities are identical to evaluating
+// from scratch at every scheduling point, which the equivalence suite
+// asserts against the retained Config.NaiveDispatch path).
+type Staticness int
+
+const (
+	// EvalStatic: Evaluate(t) is a constant for t's whole life, restarts
+	// included (EDF's deadline, FCFS's arrival time are fixed at arrival).
+	EvalStatic Staticness = iota
+	// EvalConflictClocked: Evaluate(t) is constant while the pair
+	// (simulated time, conflict-index generation) is unchanged — CCA's
+	// penalty of conflict moves only when the clock advances (running
+	// holders accrue service) or a has-set changes (the same key the
+	// engine's penalty cache uses). Without a conflict index (naive scans)
+	// the engine conservatively treats such a policy as EvalDynamic.
+	EvalConflictClocked
+	// EvalDynamic: Evaluate(t) may change at any scheduling point for
+	// reasons the engine cannot observe cheaply (LSF's slack shrinks with
+	// wall-clock time; AED's group assignment depends on the whole live
+	// set and its feedback controller), so it is re-run every pass.
+	EvalDynamic
+)
+
 // Policy is a scheduling algorithm: a priority assignment plus a conflict
 // resolution choice. The engine calls Evaluate at every scheduling point
 // (continuous evaluation); policies with static evaluation simply return a
@@ -14,6 +40,10 @@ type Policy interface {
 	Kind() PolicyKind
 	// Evaluate returns t's priority now; higher values run first.
 	Evaluate(e *Engine, t *Txn) float64
+	// Staticness declares when Evaluate's output can change; the engine
+	// holds the policy to it by skipping evaluations the declaration
+	// proves redundant.
+	Staticness() Staticness
 	// Wounds decides a data conflict: true aborts the holder (High
 	// Priority / wound), false blocks the requester (wait).
 	Wounds(e *Engine, requester, holder *Txn) bool
@@ -82,6 +112,10 @@ func (ccaPolicy) Wounds(*Engine, *Txn, *Txn) bool { return true }
 func (ccaPolicy) FiltersIOWait() bool { return true }
 func (ccaPolicy) Inherits() bool      { return false }
 
+// Staticness: the priority is -(deadline + w·penalty); the deadline is
+// fixed and the penalty moves only with (clock, conflict-index generation).
+func (ccaPolicy) Staticness() Staticness { return EvalConflictClocked }
+
 // edfPolicy is Earliest Deadline First. With wounds=true it is the paper's
 // EDF-HP baseline (requester aborts lower-priority holders, waits for
 // higher-priority ones); with wounds=false and inherits=true it is EDF-WP
@@ -114,6 +148,9 @@ func (p edfPolicy) Wounds(_ *Engine, requester, holder *Txn) bool {
 func (edfPolicy) FiltersIOWait() bool { return false }
 func (p edfPolicy) Inherits() bool    { return p.inherits }
 
+// Staticness: the deadline is fixed at arrival and survives restarts.
+func (edfPolicy) Staticness() Staticness { return EvalStatic }
+
 // lsfPolicy is Least Slack First with High Priority conflict resolution:
 // slack = deadline − now − static execution-time estimate.
 //
@@ -143,6 +180,9 @@ func (lsfPolicy) Wounds(_ *Engine, requester, holder *Txn) bool {
 func (lsfPolicy) FiltersIOWait() bool { return false }
 func (lsfPolicy) Inherits() bool      { return false }
 
+// Staticness: slack shrinks as the simulated clock advances.
+func (lsfPolicy) Staticness() Staticness { return EvalDynamic }
+
 // edfCRPolicy is Earliest Deadline First with Conditional Restart (Abbott
 // & Garcia-Molina; paper §2/§3.3.2): on a data conflict, the requester
 // blocks if the holder's estimated remaining execution fits within the
@@ -171,6 +211,10 @@ func (edfCRPolicy) Wounds(e *Engine, requester, holder *Txn) bool {
 func (edfCRPolicy) FiltersIOWait() bool { return false }
 func (edfCRPolicy) Inherits() bool      { return false }
 
+// Staticness: the priority is the fixed deadline (only the Wounds decision
+// is time-dependent, and that is evaluated per conflict, not cached).
+func (edfCRPolicy) Staticness() Staticness { return EvalStatic }
+
 // fcfsPolicy is the non-real-time control: arrival-order priority with High
 // Priority conflict resolution.
 type fcfsPolicy struct{}
@@ -185,3 +229,6 @@ func (fcfsPolicy) Wounds(_ *Engine, requester, holder *Txn) bool {
 
 func (fcfsPolicy) FiltersIOWait() bool { return false }
 func (fcfsPolicy) Inherits() bool      { return false }
+
+// Staticness: the arrival time never changes.
+func (fcfsPolicy) Staticness() Staticness { return EvalStatic }

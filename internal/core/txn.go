@@ -84,9 +84,17 @@ type Txn struct {
 	ceilingExempt bool
 
 	sliceStart sim.Time
-	cpuEvent   *sim.Event
+	cpuEvent   sim.Handle
 	ioReq      *disk.Request
 	cpu        int // CPU slot while running, -1 otherwise
+
+	// updateDoneFn and rollbackDoneFn are the transaction's recurring event
+	// callbacks, built once at engine construction so the hot path schedules
+	// tens of thousands of events without allocating a closure per event.
+	// rollbackDoneFn reads pendingRollback, set just before scheduling.
+	updateDoneFn    func()
+	rollbackDoneFn  func()
+	pendingRollback time.Duration
 
 	// might is the current might-access set: mightFull before the
 	// decision point, mightNarrow after it (flat transactions use a
@@ -125,6 +133,25 @@ type Txn struct {
 	// inherited is the floor priority received from waiters under the
 	// Wait Promote baseline.
 	inherited float64
+
+	// Incremental-evaluation state (unused when Config.NaiveDispatch keeps
+	// the original re-evaluate-everything dispatch pass):
+	//
+	// basePr is the policy's own Evaluate value from the last evaluation
+	// (before the inherited-priority floor is applied).
+	basePr float64
+	// evalValid marks basePr as ever-evaluated; for EvalStatic policies a
+	// valid basePr is final for the transaction's whole life.
+	evalValid bool
+	// evalAt/evalGen key basePr for EvalConflictClocked policies (CCA):
+	// the value is provably unchanged while the simulated clock and the
+	// conflict-index generation both stand still. evalGen 0 (set by
+	// Engine.setMight) never matches a live index generation.
+	evalAt  sim.Time
+	evalGen uint64
+	// desiredStamp marks membership in the dispatch pass identified by
+	// Engine.passStamp — an O(1) replacement for scanning the desired set.
+	desiredStamp uint64
 
 	finish sim.Time
 }
@@ -184,7 +211,7 @@ func (t *Txn) resetForRestart() {
 		// its access set is pessimistic again.
 		t.might = t.mightFull
 	}
-	t.cpuEvent = nil
+	t.cpuEvent = sim.Handle{}
 	t.ioReq = nil
 	t.cpu = -1
 	t.state = StateReady

@@ -41,9 +41,16 @@ type undoRec struct {
 // rollback, matching strict 2PL: a transaction's writes are undone only if
 // it aborts, and nobody else can have read them because writers hold
 // exclusive locks until commit).
+//
+// Undo logs are dense slices indexed by transaction ID (IDs are dense
+// arrival indices throughout the repository): commit and abort empty a log
+// but keep its capacity, so a restarted transaction's next life — and the
+// write-heavy engine hot path generally — logs before-images without
+// allocating.
 type Store struct {
 	values []Value
-	undo   map[TxnID][]undoRec
+	undo   [][]undoRec // by TxnID; emptied (capacity kept) on commit/abort
+	active int         // transactions with a non-empty undo log
 	seq    uint64
 
 	writes  uint64
@@ -59,12 +66,19 @@ func New(n int) *Store {
 	}
 	s := &Store{
 		values: make([]Value, n),
-		undo:   make(map[TxnID][]undoRec),
 	}
 	for i := range s.values {
 		s.values[i] = Value{Writer: -1}
 	}
 	return s
+}
+
+// undoOf returns t's undo log (nil if none).
+func (s *Store) undoOf(t TxnID) []undoRec {
+	if int(t) < 0 || int(t) >= len(s.undo) {
+		return nil
+	}
+	return s.undo[t]
 }
 
 // Size returns the number of objects.
@@ -88,6 +102,20 @@ func (s *Store) Read(t TxnID, item txn.Item) Value {
 // holding the exclusive lock.
 func (s *Store) Write(t TxnID, incarnation int, item txn.Item) Value {
 	s.check(item)
+	if n := int(t) + 1; n > len(s.undo) {
+		if n < 2*len(s.undo) {
+			n = 2 * len(s.undo)
+		}
+		grown := make([][]undoRec, n)
+		copy(grown, s.undo)
+		s.undo = grown
+	}
+	if len(s.undo[t]) == 0 {
+		s.active++
+		if s.undo[t] == nil {
+			s.undo[t] = make([]undoRec, 0, 32)
+		}
+	}
 	s.undo[t] = append(s.undo[t], undoRec{item: item, before: s.values[item]})
 	s.seq++
 	s.writes++
@@ -103,16 +131,19 @@ func (s *Store) Get(item txn.Item) Value {
 }
 
 // Pending returns the number of uncommitted writes of t.
-func (s *Store) Pending(t TxnID) int { return len(s.undo[t]) }
+func (s *Store) Pending(t TxnID) int { return len(s.undoOf(t)) }
 
 // Abort rolls t back: before-images are restored in reverse order and the
 // undo log is discarded. It returns the number of writes undone.
 func (s *Store) Abort(t TxnID) int {
-	log := s.undo[t]
+	log := s.undoOf(t)
 	for i := len(log) - 1; i >= 0; i-- {
 		s.values[log[i].item] = log[i].before
 	}
-	delete(s.undo, t)
+	if len(log) > 0 {
+		s.active--
+		s.undo[t] = log[:0]
+	}
 	s.aborts++
 	return len(log)
 }
@@ -120,14 +151,17 @@ func (s *Store) Abort(t TxnID) int {
 // Commit makes t's writes permanent by discarding its undo log. It returns
 // the number of writes committed.
 func (s *Store) Commit(t TxnID) int {
-	n := len(s.undo[t])
-	delete(s.undo, t)
+	n := len(s.undoOf(t))
+	if n > 0 {
+		s.active--
+		s.undo[t] = s.undo[t][:0]
+	}
 	s.commits++
 	return n
 }
 
 // ActiveWriters returns the number of transactions with pending writes.
-func (s *Store) ActiveWriters() int { return len(s.undo) }
+func (s *Store) ActiveWriters() int { return s.active }
 
 // Stats returns cumulative operation counts.
 func (s *Store) Stats() (reads, writes, commits, aborts uint64) {
@@ -143,7 +177,7 @@ func (s *Store) Snapshot() []Value {
 // committed or aborted) — called at end of simulation by the engine's
 // invariant checks.
 func (s *Store) CheckClean() {
-	if len(s.undo) != 0 {
-		panic(fmt.Sprintf("db: %d transactions left pending undo logs", len(s.undo)))
+	if s.active != 0 {
+		panic(fmt.Sprintf("db: %d transactions left pending undo logs", s.active))
 	}
 }

@@ -114,6 +114,26 @@ func TestRunDeterministicAggregation(t *testing.T) {
 	}
 }
 
+// TestRunDeterministicAggregationMultiCPU repeats the worker-count
+// determinism check on the multiprocessor ablation (NumCPUs 2 and 4): the
+// engine's multi-slot dispatch must replay identically whether runs execute
+// serially or on every available worker.
+func TestRunDeterministicAggregationMultiCPU(t *testing.T) {
+	def := findDef(t, "ablation-mp")
+	def.Xs = []float64{2, 4}
+	a, err := Run(def, Options{Seeds: 2, Count: 80, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(def, Options{Seeds: 2, Count: 80, Workers: runtime.GOMAXPROCS(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Agg, b.Agg) {
+		t.Fatal("worker count changed aggregated multi-CPU results")
+	}
+}
+
 // TestSummaryPreservesCommitCounts: in the soft-deadline model every
 // transaction commits, so the across-seed summary of a sweep must report
 // exactly the per-run transaction count — a regression test for Summary

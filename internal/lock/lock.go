@@ -10,6 +10,14 @@
 // waits (EDF-WP), or waits conditionally (EDF-HP with a higher-priority
 // holder). Wait queues are kept in descending requester priority so that a
 // release always grants the most urgent compatible waiters first.
+//
+// The tables are dense slices indexed by item and transaction ID (both are
+// dense small integers throughout the repository), not maps: the lock
+// manager sits on the engine's per-access hot path, and the slice layout
+// makes the common operations — acquire with no conflict, release-all at
+// commit — allocation-free. Each item's first holder is stored inline
+// (exclusive-lock workloads never have a second), and a transaction's held
+// list keeps its capacity across the release/reacquire cycles of restarts.
 package lock
 
 import (
@@ -51,50 +59,203 @@ type Request struct {
 	Priority float64
 }
 
+// holder is one lock holder of an item.
+type holder struct {
+	txn  TxnID
+	mode Mode
+}
+
+// entry is the per-item lock state. The first holder lives inline —
+// workloads without shared locks never have co-holders, so the exclusive
+// hot path touches no per-item heap state at all.
 type entry struct {
-	holders map[TxnID]Mode
-	waiters []*Request
+	first    holder
+	hasFirst bool
+	extra    []holder // co-holders beyond the first (shared readers)
+	waiters  []*Request
+}
+
+func (e *entry) holderCount() int {
+	n := len(e.extra)
+	if e.hasFirst {
+		n++
+	}
+	return n
+}
+
+func (e *entry) holderMode(t TxnID) (Mode, bool) {
+	if e.hasFirst && e.first.txn == t {
+		return e.first.mode, true
+	}
+	for _, h := range e.extra {
+		if h.txn == t {
+			return h.mode, true
+		}
+	}
+	return 0, false
+}
+
+// setOrAddHolder grants (or upgrades) t's hold on the item.
+func (e *entry) setOrAddHolder(t TxnID, m Mode) {
+	if e.hasFirst && e.first.txn == t {
+		e.first.mode = m
+		return
+	}
+	for i := range e.extra {
+		if e.extra[i].txn == t {
+			e.extra[i].mode = m
+			return
+		}
+	}
+	if !e.hasFirst {
+		e.first = holder{txn: t, mode: m}
+		e.hasFirst = true
+		return
+	}
+	e.extra = append(e.extra, holder{txn: t, mode: m})
+}
+
+func (e *entry) removeHolder(t TxnID) {
+	if e.hasFirst && e.first.txn == t {
+		if n := len(e.extra); n > 0 {
+			e.first = e.extra[n-1]
+			e.extra = e.extra[:n-1]
+		} else {
+			e.hasFirst = false
+		}
+		return
+	}
+	for i := range e.extra {
+		if e.extra[i].txn == t {
+			n := len(e.extra)
+			e.extra[i] = e.extra[n-1]
+			e.extra = e.extra[:n-1]
+			return
+		}
+	}
+}
+
+// hasConflict reports whether any holder other than t is incompatible with
+// mode — the allocation-free core of Acquire and grantWaiters.
+func (e *entry) hasConflict(t TxnID, mode Mode) bool {
+	if e.hasFirst && e.first.txn != t && !compatible(mode, e.first.mode) {
+		return true
+	}
+	for _, h := range e.extra {
+		if h.txn != t && !compatible(mode, h.mode) {
+			return true
+		}
+	}
+	return false
+}
+
+// heldItem is one entry of a transaction's held-lock list.
+type heldItem struct {
+	item txn.Item
+	mode Mode
 }
 
 // Manager tracks lock ownership and wait queues for a set of items.
 type Manager struct {
-	items   map[txn.Item]*entry
-	held    map[TxnID]map[txn.Item]Mode
-	waiting map[TxnID]*Request
+	items   []entry      // indexed by item
+	held    [][]heldItem // indexed by TxnID; emptied (capacity kept) on release
+	waiting []*Request   // indexed by TxnID; nil when not blocked
 }
 
-// NewManager returns an empty lock manager.
-func NewManager() *Manager {
+// NewManager returns an empty lock manager; the tables grow on demand.
+func NewManager() *Manager { return &Manager{} }
+
+// NewManagerSized returns an empty lock manager with tables pre-sized for
+// items in [0, items) and transactions in [0, txns) — one allocation each
+// instead of growth doublings.
+func NewManagerSized(items, txns int) *Manager {
 	return &Manager{
-		items:   make(map[txn.Item]*entry),
-		held:    make(map[TxnID]map[txn.Item]Mode),
-		waiting: make(map[TxnID]*Request),
+		items:   make([]entry, items),
+		held:    make([][]heldItem, txns),
+		waiting: make([]*Request, txns),
 	}
 }
 
+// entry returns the per-item state, growing the table if needed.
 func (m *Manager) entry(it txn.Item) *entry {
-	e := m.items[it]
-	if e == nil {
-		e = &entry{holders: make(map[TxnID]Mode)}
-		m.items[it] = e
+	if n := int(it) + 1; n > len(m.items) {
+		if n < 2*len(m.items) {
+			n = 2 * len(m.items)
+		}
+		grown := make([]entry, n)
+		copy(grown, m.items)
+		m.items = grown
 	}
-	return e
+	return &m.items[int(it)]
+}
+
+// peek returns the per-item state without growing, or nil if never touched.
+func (m *Manager) peek(it txn.Item) *entry {
+	if int(it) < 0 || int(it) >= len(m.items) {
+		return nil
+	}
+	return &m.items[int(it)]
+}
+
+// growTxn ensures the per-transaction tables cover t.
+func (m *Manager) growTxn(t TxnID) {
+	if n := int(t) + 1; n > len(m.held) {
+		if n < 2*len(m.held) {
+			n = 2 * len(m.held)
+		}
+		grownHeld := make([][]heldItem, n)
+		copy(grownHeld, m.held)
+		m.held = grownHeld
+		grownWait := make([]*Request, n)
+		copy(grownWait, m.waiting)
+		m.waiting = grownWait
+	}
+}
+
+func (m *Manager) heldOf(t TxnID) []heldItem {
+	if int(t) < 0 || int(t) >= len(m.held) {
+		return nil
+	}
+	return m.held[t]
+}
+
+// heldSetOrAdd records t's hold of item in its held list (or updates the
+// mode on upgrade). The first acquisition of a transaction's life allocates
+// the list; releases keep the capacity for the next life.
+func (m *Manager) heldSetOrAdd(t TxnID, item txn.Item, mode Mode) {
+	m.growTxn(t)
+	hs := m.held[t]
+	for i := range hs {
+		if hs[i].item == item {
+			hs[i].mode = mode
+			return
+		}
+	}
+	if hs == nil {
+		hs = make([]heldItem, 0, 32)
+	}
+	m.held[t] = append(hs, heldItem{item: item, mode: mode})
 }
 
 // Holds reports whether t holds a lock on item (in any mode).
 func (m *Manager) Holds(t TxnID, item txn.Item) bool {
-	_, ok := m.held[t][item]
-	return ok
+	for _, h := range m.heldOf(t) {
+		if h.item == item {
+			return true
+		}
+	}
+	return false
 }
 
 // HeldCount returns the number of items t holds locks on, in O(1).
-func (m *Manager) HeldCount(t TxnID) int { return len(m.held[t]) }
+func (m *Manager) HeldCount(t TxnID) int { return len(m.heldOf(t)) }
 
 // HeldBy returns the items locked by t, in ascending order.
 func (m *Manager) HeldBy(t TxnID) []txn.Item {
-	out := make([]txn.Item, 0, len(m.held[t]))
-	for it := range m.held[t] {
-		out = append(out, it)
+	hs := m.heldOf(t)
+	out := make([]txn.Item, 0, len(hs))
+	for _, h := range hs {
+		out = append(out, h.item)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -103,33 +264,49 @@ func (m *Manager) HeldBy(t TxnID) []txn.Item {
 // Holders returns the transactions holding a lock on item, in ascending ID
 // order (deterministic for the simulator).
 func (m *Manager) Holders(item txn.Item) []TxnID {
-	e := m.items[item]
-	if e == nil {
+	e := m.peek(item)
+	if e == nil || e.holderCount() == 0 {
 		return nil
 	}
-	out := make([]TxnID, 0, len(e.holders))
-	for t := range e.holders {
-		out = append(out, t)
+	out := make([]TxnID, 0, e.holderCount())
+	if e.hasFirst {
+		out = append(out, e.first.txn)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	for _, h := range e.extra {
+		out = append(out, h.txn)
+	}
+	sortTxnIDs(out)
 	return out
 }
 
 // Conflicting returns the holders of item whose mode is incompatible with
-// acquiring it in the given mode by t (excluding t itself).
+// acquiring it in the given mode by t (excluding t itself), ascending.
 func (m *Manager) Conflicting(t TxnID, item txn.Item, mode Mode) []TxnID {
-	e := m.items[item]
+	e := m.peek(item)
 	if e == nil {
 		return nil
 	}
 	var out []TxnID
-	for h, hm := range e.holders {
-		if h != t && !compatible(mode, hm) {
-			out = append(out, h)
+	if e.hasFirst && e.first.txn != t && !compatible(mode, e.first.mode) {
+		out = append(out, e.first.txn)
+	}
+	for _, h := range e.extra {
+		if h.txn != t && !compatible(mode, h.mode) {
+			out = append(out, h.txn)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	sortTxnIDs(out)
 	return out
+}
+
+// sortTxnIDs sorts ascending without reflection or closures (holder sets
+// are tiny — at most the co-readers of one item).
+func sortTxnIDs(ids []TxnID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
 }
 
 // Acquire grants the lock to t if no incompatible holder exists, upgrading
@@ -137,23 +314,23 @@ func (m *Manager) Conflicting(t TxnID, item txn.Item, mode Mode) []TxnID {
 // granted; when it returns false the caller must decide between Wound
 // (release the holders) and Wait (Enqueue). Acquire never enqueues.
 func (m *Manager) Acquire(t TxnID, item txn.Item, mode Mode) bool {
-	if m.waiting[t] != nil {
+	if m.Waiting(t) != nil {
 		panic(fmt.Sprintf("lock: txn %d acquiring %v while blocked on another item", t, item))
 	}
 	e := m.entry(item)
-	if cur, ok := e.holders[t]; ok {
+	if cur, ok := e.holderMode(t); ok {
 		if cur == mode || cur == Write {
 			return true // re-entrant or already stronger
 		}
 		// Read -> Write upgrade: allowed only as sole holder.
-		if len(e.holders) == 1 {
-			e.holders[t] = Write
-			m.held[t][item] = Write
+		if e.holderCount() == 1 {
+			e.setOrAddHolder(t, Write)
+			m.heldSetOrAdd(t, item, Write)
 			return true
 		}
 		return false
 	}
-	if len(m.Conflicting(t, item, mode)) > 0 {
+	if e.hasConflict(t, mode) {
 		return false
 	}
 	// Note: a reader IS allowed to join current readers even when a writer
@@ -163,11 +340,8 @@ func (m *Manager) Acquire(t TxnID, item txn.Item, mode Mode) bool {
 	// nobody, invisible to the waits-for graph (an undetectable stall).
 	// Writer starvation is bounded by the priority queue: the writer is
 	// granted at the first release at which it outranks the readers.
-	e.holders[t] = mode
-	if m.held[t] == nil {
-		m.held[t] = make(map[txn.Item]Mode)
-	}
-	m.held[t][item] = mode
+	e.setOrAddHolder(t, mode)
+	m.heldSetOrAdd(t, item, mode)
 	return true
 }
 
@@ -175,7 +349,7 @@ func (m *Manager) Acquire(t TxnID, item txn.Item, mode Mode) bool {
 // by descending priority (FIFO among equal priorities). A transaction can
 // wait for at most one item at a time.
 func (m *Manager) Enqueue(r *Request) {
-	if m.waiting[r.Txn] != nil {
+	if m.Waiting(r.Txn) != nil {
 		panic(fmt.Sprintf("lock: txn %d enqueued twice", r.Txn))
 	}
 	e := m.entry(r.Item)
@@ -189,15 +363,21 @@ func (m *Manager) Enqueue(r *Request) {
 	e.waiters = append(e.waiters, nil)
 	copy(e.waiters[pos+1:], e.waiters[pos:])
 	e.waiters[pos] = r
+	m.growTxn(r.Txn)
 	m.waiting[r.Txn] = r
 }
 
 // Waiting returns the request t is blocked on, or nil.
-func (m *Manager) Waiting(t TxnID) *Request { return m.waiting[t] }
+func (m *Manager) Waiting(t TxnID) *Request {
+	if int(t) < 0 || int(t) >= len(m.waiting) {
+		return nil
+	}
+	return m.waiting[t]
+}
 
 // Waiters returns the queued requests for item in grant order.
 func (m *Manager) Waiters(item txn.Item) []*Request {
-	e := m.items[item]
+	e := m.peek(item)
 	if e == nil {
 		return nil
 	}
@@ -211,12 +391,12 @@ func (m *Manager) Waiters(item txn.Item) []*Request {
 // readers — so the grant pass re-runs and the newly granted requests are
 // returned; the caller must wake those transactions.
 func (m *Manager) CancelWait(t TxnID) (granted []*Request, wasWaiting bool) {
-	r := m.waiting[t]
+	r := m.Waiting(t)
 	if r == nil {
 		return nil, false
 	}
-	delete(m.waiting, t)
-	e := m.items[r.Item]
+	m.waiting[t] = nil
+	e := m.entry(r.Item)
 	for i, w := range e.waiters {
 		if w == r {
 			e.waiters = append(e.waiters[:i], e.waiters[i+1:]...)
@@ -227,46 +407,50 @@ func (m *Manager) CancelWait(t TxnID) (granted []*Request, wasWaiting bool) {
 }
 
 // ReleaseAll releases every lock held by t (commit or abort under strict
-// 2PL) and grants queued requests that become compatible, front-to-back.
-// It returns the newly granted requests; the caller is responsible for
-// waking those transactions.
+// 2PL) and grants queued requests that become compatible, front-to-back in
+// ascending item order. It returns the newly granted requests; the caller
+// is responsible for waking those transactions. The common case — no
+// waiters anywhere — allocates nothing.
 func (m *Manager) ReleaseAll(t TxnID) []*Request {
-	items := m.HeldBy(t)
-	for _, it := range items {
-		delete(m.items[it].holders, t)
+	hs := m.heldOf(t)
+	sortHeld(hs)
+	for _, h := range hs {
+		m.items[h.item].removeHolder(t)
 	}
-	delete(m.held, t)
 	var granted []*Request
-	for _, it := range items {
-		granted = append(granted, m.grantWaiters(it)...)
+	for _, h := range hs {
+		granted = append(granted, m.grantWaiters(h.item)...)
+	}
+	if hs != nil {
+		m.held[t] = hs[:0]
 	}
 	return granted
+}
+
+// sortHeld orders a held list by ascending item (items are unique per
+// transaction) without reflection or closures.
+func sortHeld(hs []heldItem) {
+	for i := 1; i < len(hs); i++ {
+		for j := i; j > 0 && hs[j].item < hs[j-1].item; j-- {
+			hs[j], hs[j-1] = hs[j-1], hs[j]
+		}
+	}
 }
 
 // grantWaiters grants the head of the queue (and, for readers, every
 // following compatible reader) if the item's current holders allow it.
 func (m *Manager) grantWaiters(item txn.Item) []*Request {
-	e := m.items[item]
+	e := m.entry(item)
 	var granted []*Request
 	for len(e.waiters) > 0 {
 		r := e.waiters[0]
-		ok := true
-		for h, hm := range e.holders {
-			if h != r.Txn && !compatible(r.Mode, hm) {
-				ok = false
-				break
-			}
-		}
-		if !ok {
+		if e.hasConflict(r.Txn, r.Mode) {
 			break
 		}
 		e.waiters = e.waiters[1:]
-		delete(m.waiting, r.Txn)
-		e.holders[r.Txn] = r.Mode
-		if m.held[r.Txn] == nil {
-			m.held[r.Txn] = make(map[txn.Item]Mode)
-		}
-		m.held[r.Txn][item] = r.Mode
+		m.waiting[r.Txn] = nil
+		e.setOrAddHolder(r.Txn, r.Mode)
+		m.heldSetOrAdd(r.Txn, item, r.Mode)
 		granted = append(granted, r)
 		if r.Mode == Write {
 			break
@@ -284,7 +468,7 @@ func (m *Manager) grantWaiters(item txn.Item) []*Request {
 // deadlock victim slightly early, never miss a real cycle. The result is
 // deduplicated and in ascending order.
 func (m *Manager) WaitsFor(t TxnID) []TxnID {
-	r := m.waiting[t]
+	r := m.Waiting(t)
 	if r == nil {
 		return nil
 	}
@@ -292,7 +476,7 @@ func (m *Manager) WaitsFor(t TxnID) []TxnID {
 	for _, h := range m.Conflicting(t, r.Item, r.Mode) {
 		seen[h] = true
 	}
-	for _, w := range m.items[r.Item].waiters {
+	for _, w := range m.entry(r.Item).waiters {
 		if w == r {
 			break
 		}
@@ -354,8 +538,8 @@ func (m *Manager) DetectCycle(t TxnID) []TxnID {
 // LockedItems returns how many items currently have at least one holder.
 func (m *Manager) LockedItems() int {
 	n := 0
-	for _, e := range m.items {
-		if len(e.holders) > 0 {
+	for i := range m.items {
+		if m.items[i].holderCount() > 0 {
 			n++
 		}
 	}
@@ -367,34 +551,40 @@ func (m *Manager) LockedItems() int {
 // held/items tables consistent, waiters sorted). Engine integration tests
 // call this at every scheduling point.
 func (m *Manager) CheckInvariants() {
-	for it, e := range m.items {
+	for i := range m.items {
+		e := &m.items[i]
+		it := txn.Item(i)
 		writers := 0
-		for _, mode := range e.holders {
-			if mode == Write {
+		checkHolder := func(h holder) {
+			if h.mode == Write {
 				writers++
 			}
+			if !m.Holds(h.txn, it) {
+				panic(fmt.Sprintf("lock: held table missing txn %d item %d", h.txn, it))
+			}
+		}
+		if e.hasFirst {
+			checkHolder(e.first)
+		}
+		for _, h := range e.extra {
+			checkHolder(h)
 		}
 		if writers > 1 {
 			panic(fmt.Sprintf("lock: item %d has %d writers", it, writers))
 		}
-		if writers == 1 && len(e.holders) > 1 {
-			panic(fmt.Sprintf("lock: item %d has a writer and %d holders", it, len(e.holders)))
+		if writers == 1 && e.holderCount() > 1 {
+			panic(fmt.Sprintf("lock: item %d has a writer and %d holders", it, e.holderCount()))
 		}
-		for i := 1; i < len(e.waiters); i++ {
-			if e.waiters[i-1].Priority < e.waiters[i].Priority {
+		for w := 1; w < len(e.waiters); w++ {
+			if e.waiters[w-1].Priority < e.waiters[w].Priority {
 				panic(fmt.Sprintf("lock: item %d wait queue out of order", it))
-			}
-		}
-		for h := range e.holders {
-			if _, ok := m.held[h][it]; !ok {
-				panic(fmt.Sprintf("lock: holder table missing txn %d item %d", h, it))
 			}
 		}
 	}
 	for t, items := range m.held {
-		for it := range items {
-			if _, ok := m.items[it].holders[t]; !ok {
-				panic(fmt.Sprintf("lock: held table has stale txn %d item %d", t, it))
+		for _, h := range items {
+			if _, ok := m.items[h.item].holderMode(TxnID(t)); !ok {
+				panic(fmt.Sprintf("lock: held table has stale txn %d item %d", t, h.item))
 			}
 		}
 	}

@@ -85,7 +85,7 @@ func TestWriterThenReadDenied(t *testing.T) {
 	if !m.Acquire(1, 7, Read) {
 		t.Fatal("holder's weaker-mode re-acquire denied")
 	}
-	if m.held[1][7] != Write {
+	if mode, ok := m.items[7].holderMode(1); !ok || mode != Write {
 		t.Fatal("holder mode demoted by weaker re-acquire")
 	}
 }

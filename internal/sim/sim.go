@@ -10,6 +10,16 @@
 // lives above the kernel: the experiment harness runs many independent
 // simulations (seeds x sweep points x policies) concurrently, each with its
 // own Simulator.
+//
+// Engines schedule hundreds of thousands of events per run, so the calendar
+// recycles event records through a per-Simulator free list instead of
+// allocating each one on the heap. Callers hold generation-checked Handle
+// values: a Handle captures the incarnation of the record it was issued
+// for, so Cancel (or Pending/Cancelled) on a handle whose event has already
+// fired is a guaranteed no-op even after the record has been reused for an
+// unrelated event. NewUnpooled retains the original allocate-per-event
+// calendar for the equivalence suite and allocation benchmarks; behaviour
+// is bit-identical either way.
 package sim
 
 import (
@@ -23,24 +33,55 @@ import (
 // finer than the paper's millisecond-scale parameters.
 type Time = time.Duration
 
-// Event is a scheduled callback. It is returned by Simulator.At and
-// Simulator.After so that callers can cancel it before it fires.
+// Event is one scheduled-callback record in the calendar. Records are owned
+// and recycled by the Simulator; callers refer to them only through the
+// generation-checked Handle returned by At and After.
 type Event struct {
-	at        Time
-	seq       uint64
-	fn        func()
-	index     int // position in the heap, -1 once removed
-	cancelled bool
+	at  Time
+	seq uint64
+	fn  func()
+	// index is the record's position in the heap, -1 once removed.
+	index int
+	// gen is the record's incarnation counter: it is bumped every time the
+	// record leaves the calendar (fire or cancel), so a Handle issued for
+	// an earlier incarnation can never act on a recycled record.
+	gen uint64
+	// cancelledGen remembers the incarnation (if any) that was removed by
+	// Cancel rather than by firing, so Handle.Cancelled stays answerable
+	// after the record is recycled.
+	cancelledGen uint64
 }
 
-// At returns the simulated time the event is scheduled to fire.
-func (e *Event) At() Time { return e.at }
+// Handle is a caller's reference to one scheduled event. It is a small
+// value (no allocation) pairing the calendar record with the incarnation it
+// was issued for. The zero Handle refers to no event: Pending and Cancelled
+// report false and Cancel is a no-op.
+type Handle struct {
+	ev  *Event
+	gen uint64
+	at  Time
+}
 
-// Cancelled reports whether Cancel was called on the event before it fired.
-func (e *Event) Cancelled() bool { return e.cancelled }
+// At returns the simulated time the event was scheduled to fire. It remains
+// valid after the event fires or is cancelled (the time is captured in the
+// handle). The zero Handle returns 0.
+func (h Handle) At() Time { return h.at }
 
-// Pending reports whether the event is still in the calendar.
-func (e *Event) Pending() bool { return e.index >= 0 }
+// Pending reports whether the event is still in the calendar: it has
+// neither fired nor been cancelled. A stale handle — one whose record has
+// been recycled for a different event — reports false.
+func (h Handle) Pending() bool { return h.ev != nil && h.ev.gen == h.gen }
+
+// Cancelled reports whether Cancel removed this handle's event before it
+// fired. It answers for exactly the incarnation the handle was issued for:
+// a handle whose event fired reports false forever, even after the
+// underlying record is recycled and the new incarnation is cancelled.
+func (h Handle) Cancelled() bool { return h.ev != nil && h.ev.cancelledGen == h.gen }
+
+// eventSlabSize is the batch size for refilling a pooled simulator's free
+// list: records are allocated in slabs so calendar growth amortises to one
+// allocation per slab.
+const eventSlabSize = 64
 
 // Simulator owns the virtual clock and the event calendar.
 type Simulator struct {
@@ -48,11 +89,27 @@ type Simulator struct {
 	seq      uint64
 	calendar eventHeap
 	executed uint64
-	running  bool
+	// free holds recycled event records (LIFO); nil disables pooling
+	// entirely (NewUnpooled) — pool reports whether pooling is on, since
+	// an empty pooled free list is also nil-lengthed.
+	free []*Event
+	pool bool
 }
 
-// New returns an empty simulator with the clock at zero.
+// New returns an empty simulator with the clock at zero. Event records are
+// pooled: each fire or cancel returns the record to a free list for the
+// next At/After, so a long run's calendar allocates only up to its
+// high-water mark of concurrently pending events.
 func New() *Simulator {
+	return &Simulator{pool: true}
+}
+
+// NewUnpooled returns a simulator that allocates a fresh record for every
+// scheduled event — the original calendar, retained so the equivalence
+// suite and the allocation benchmarks can compare against it. Handle
+// semantics (generation checks included) are identical to the pooled
+// calendar.
+func NewUnpooled() *Simulator {
 	return &Simulator{}
 }
 
@@ -65,39 +122,78 @@ func (s *Simulator) Executed() uint64 { return s.executed }
 // Pending returns the number of events still scheduled.
 func (s *Simulator) Pending() int { return len(s.calendar) }
 
+// FreeListLen returns the number of recycled records currently available
+// for reuse (0 for an unpooled simulator); exposed for tests.
+func (s *Simulator) FreeListLen() int { return len(s.free) }
+
 // At schedules fn to run at absolute simulated time t. It panics if t is in
 // the past; scheduling at the current instant is allowed and fires after all
 // previously scheduled events for that instant (FIFO order).
-func (s *Simulator) At(t Time, fn func()) *Event {
+func (s *Simulator) At(t Time, fn func()) Handle {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
 	if fn == nil {
 		panic("sim: scheduling nil event function")
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else if s.pool {
+		// Refill the free list a slab at a time: growing the calendar to its
+		// high-water mark costs one allocation per batch, not per event.
+		// gen starts at 1 so a zero Handle (gen 0) can never match, and
+		// cancelledGen 0 means "no incarnation was ever cancelled".
+		slab := make([]Event, eventSlabSize)
+		for i := range slab {
+			slab[i].gen = 1
+		}
+		for i := eventSlabSize - 1; i > 0; i-- {
+			s.free = append(s.free, &slab[i])
+		}
+		e = &slab[0]
+	} else {
+		e = &Event{gen: 1}
+	}
+	e.at, e.seq, e.fn = t, s.seq, fn
 	s.seq++
 	heap.Push(&s.calendar, e)
-	return e
+	return Handle{ev: e, gen: e.gen, at: t}
 }
 
 // After schedules fn to run d after the current simulated time.
-func (s *Simulator) After(d time.Duration, fn func()) *Event {
+func (s *Simulator) After(d time.Duration, fn func()) Handle {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: scheduling event with negative delay %v", d))
 	}
 	return s.At(s.now+d, fn)
 }
 
+// recycle retires a record that has left the calendar: its incarnation is
+// closed (so stale handles go inert) and, on a pooled simulator, the record
+// is returned to the free list.
+func (s *Simulator) recycle(e *Event) {
+	e.gen++
+	e.fn = nil
+	if s.pool {
+		s.free = append(s.free, e)
+	}
+}
+
 // Cancel removes a scheduled event from the calendar. It reports whether the
-// event was still pending; cancelling an already-fired or already-cancelled
-// event is a harmless no-op that returns false.
-func (s *Simulator) Cancel(e *Event) bool {
-	if e == nil || e.index < 0 {
+// event was still pending; cancelling an already-fired, already-cancelled or
+// zero handle is a harmless no-op that returns false and can never disturb a
+// recycled record (the handle's generation no longer matches).
+func (s *Simulator) Cancel(h Handle) bool {
+	e := h.ev
+	if e == nil || e.gen != h.gen {
 		return false
 	}
-	e.cancelled = true
 	heap.Remove(&s.calendar, e.index)
+	e.cancelledGen = e.gen
+	s.recycle(e)
 	return true
 }
 
@@ -110,7 +206,12 @@ func (s *Simulator) Step() bool {
 	e := heap.Pop(&s.calendar).(*Event)
 	s.now = e.at
 	s.executed++
-	e.fn()
+	fn := e.fn
+	// Recycle before running the callback: the fired incarnation is over,
+	// so the callback (and anything it schedules) may reuse the record —
+	// a handle to the fired event is already inert by generation check.
+	s.recycle(e)
+	fn()
 	return true
 }
 

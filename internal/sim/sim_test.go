@@ -86,10 +86,13 @@ func TestCancelPreventsFiring(t *testing.T) {
 	}
 }
 
-func TestCancelNilIsNoop(t *testing.T) {
+func TestCancelZeroHandleIsNoop(t *testing.T) {
 	s := New()
-	if s.Cancel(nil) {
-		t.Fatal("Cancel(nil) returned true")
+	if s.Cancel(Handle{}) {
+		t.Fatal("Cancel of the zero handle returned true")
+	}
+	if (Handle{}).Pending() || (Handle{}).Cancelled() {
+		t.Fatal("zero handle reports pending or cancelled")
 	}
 }
 
@@ -105,7 +108,7 @@ func TestCancelFiredEventReturnsFalse(t *testing.T) {
 func TestCancelMiddleOfHeap(t *testing.T) {
 	s := New()
 	var got []int
-	var events []*Event
+	var events []Handle
 	for i := 0; i < 20; i++ {
 		i := i
 		events = append(events, s.At(Time(i), func() { got = append(got, i) }))
@@ -288,7 +291,7 @@ func TestQuickCancellationProperty(t *testing.T) {
 	f := func(raw []uint16, mask []bool) bool {
 		s := New()
 		fired := make(map[int]bool)
-		var events []*Event
+		var events []Handle
 		for i, r := range raw {
 			i := i
 			events = append(events, s.At(Time(r), func() { fired[i] = true }))
@@ -313,6 +316,153 @@ func TestQuickCancellationProperty(t *testing.T) {
 	}
 }
 
+// --- handle semantics under record pooling ------------------------------
+
+// TestFiredHandleIsInertAfterRecycle is the core pooling-safety regression:
+// once an event fires, its record goes back to the free list and is reused
+// for the next scheduled event. A stale handle to the fired event must stay
+// a complete no-op — Cancel false, Pending false, Cancelled false — and in
+// particular must not cancel or otherwise disturb the recycled record's new
+// event.
+func TestFiredHandleIsInertAfterRecycle(t *testing.T) {
+	s := New()
+	h1 := s.At(10, func() {})
+	s.Run()
+	// The first At refilled the free list with a whole slab; the fired
+	// record went back on top of it.
+	if s.FreeListLen() != eventSlabSize {
+		t.Fatalf("free list holds %d records after one fire, want %d", s.FreeListLen(), eventSlabSize)
+	}
+
+	secondFired := false
+	h2 := s.At(20, func() { secondFired = true })
+	if h2.ev != h1.ev {
+		t.Fatal("second event did not reuse the recycled record (LIFO free list)")
+	}
+	// The stale handle is inert in every way.
+	if h1.Pending() {
+		t.Error("fired handle reports pending after its record was recycled")
+	}
+	if h1.Cancelled() {
+		t.Error("fired handle reports cancelled")
+	}
+	if s.Cancel(h1) {
+		t.Error("Cancel of a fired handle returned true")
+	}
+	// ...and crucially did not kill the recycled record's new event.
+	if !h2.Pending() {
+		t.Fatal("recycled record's new event lost its pending state")
+	}
+	s.Run()
+	if !secondFired {
+		t.Fatal("stale Cancel suppressed the recycled record's event")
+	}
+}
+
+// TestCancelledHandleIsInertAfterRecycle: same guarantee for a handle whose
+// event was cancelled (rather than fired) before the record was reused —
+// and Cancelled() keeps answering for the right incarnation on both sides.
+func TestCancelledHandleIsInertAfterRecycle(t *testing.T) {
+	s := New()
+	h1 := s.At(10, func() { t.Error("cancelled event fired") })
+	if !s.Cancel(h1) {
+		t.Fatal("Cancel of a pending event returned false")
+	}
+	if !h1.Cancelled() {
+		t.Fatal("handle not marked cancelled before reuse")
+	}
+
+	fired := false
+	h2 := s.At(20, func() { fired = true })
+	if h2.ev != h1.ev {
+		t.Fatal("second event did not reuse the cancelled record")
+	}
+	// h1's incarnation was cancelled; h2's was not (yet).
+	if !h1.Cancelled() {
+		t.Error("cancelled handle forgot its cancellation after record reuse")
+	}
+	if h1.Pending() {
+		t.Error("cancelled handle reports pending after record reuse")
+	}
+	if h2.Cancelled() {
+		t.Error("fresh event reports cancelled because its record's previous incarnation was")
+	}
+	if s.Cancel(h1) {
+		t.Error("double Cancel via a stale handle returned true")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("stale double-Cancel suppressed the recycled record's event")
+	}
+}
+
+// TestHandleAtSurvivesRecycling: the scheduled time is captured in the
+// handle, so At() stays correct after the record is reused at a different
+// time.
+func TestHandleAtSurvivesRecycling(t *testing.T) {
+	s := New()
+	h1 := s.At(7, func() {})
+	s.Run()
+	s.At(99, func() {})
+	if h1.At() != 7 {
+		t.Fatalf("stale handle At() = %v, want 7", h1.At())
+	}
+}
+
+// TestPoolReusesRecordsBounded: a long event chain with only one event
+// pending at a time must run the whole chain on a single record.
+func TestPoolReusesRecordsBounded(t *testing.T) {
+	s := New()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 1000 {
+			s.After(1, tick)
+		}
+	}
+	s.After(1, tick)
+	s.Run()
+	if n != 1000 {
+		t.Fatalf("chain ran %d ticks, want 1000", n)
+	}
+	// The whole chain ran on the one slab allocated by the first After: the
+	// free list never dipped below slab size - 1 and ends exactly full.
+	if s.FreeListLen() != eventSlabSize {
+		t.Fatalf("free list holds %d records after a serial chain, want %d", s.FreeListLen(), eventSlabSize)
+	}
+}
+
+// TestUnpooledSemanticsMatch: the unpooled calendar must behave identically
+// (ordering, cancellation, handle checks) — it only skips record reuse.
+func TestUnpooledSemanticsMatch(t *testing.T) {
+	s := NewUnpooled()
+	var got []Time
+	h := s.At(5, func() { t.Error("cancelled event fired") })
+	for _, d := range []time.Duration{30, 10, 20} {
+		s.At(d, func() { got = append(got, s.Now()) })
+	}
+	if !s.Cancel(h) {
+		t.Fatal("Cancel failed on unpooled calendar")
+	}
+	if !h.Cancelled() || h.Pending() {
+		t.Fatal("handle state wrong after unpooled Cancel")
+	}
+	s.Run()
+	want := []Time{10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+	if s.FreeListLen() != 0 {
+		t.Fatalf("unpooled simulator grew a free list of %d", s.FreeListLen())
+	}
+}
+
 func BenchmarkScheduleAndRun(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -323,3 +473,29 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 		s.Run()
 	}
 }
+
+// benchCalendarChurn drives the regime engines put the calendar through:
+// a bounded number of pending events recycled through schedule/fire (and
+// an occasional cancel) hundreds of thousands of times.
+func benchCalendarChurn(b *testing.B, s func() *Simulator) {
+	b.Helper()
+	b.ReportAllocs()
+	fn := func() {}
+	for i := 0; i < b.N; i++ {
+		sim := s()
+		for j := 0; j < 64; j++ {
+			sim.At(Time(j), fn)
+		}
+		for j := 0; j < 100000; j++ {
+			h := sim.After(Time(17+(j%13)), fn)
+			if j%7 == 0 {
+				sim.Cancel(h)
+			}
+			sim.Step()
+		}
+		sim.Run()
+	}
+}
+
+func BenchmarkCalendarChurnPooled(b *testing.B)   { benchCalendarChurn(b, New) }
+func BenchmarkCalendarChurnUnpooled(b *testing.B) { benchCalendarChurn(b, NewUnpooled) }
