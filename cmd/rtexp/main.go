@@ -12,46 +12,78 @@
 //
 // Flags -seeds and -count shrink runs for quick looks; -format selects
 // text (default), md or csv.
+//
+// Adaptive precision: -target-ci 0.05 keeps adding seeds per (point,
+// variant) cell until the 95% confidence half-width is within 5% of the
+// mean (or -max-seeds runs have been spent). Long sweeps survive
+// interruption: with -checkpoint FILE every completed run is streamed to a
+// JSONL file, Ctrl-C checkpoints in-flight runs and exits, and
+// -resume replays the file to continue where the sweep stopped —
+// producing bit-identical aggregates to an uninterrupted run.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, executes, and returns
+// the process exit code (0 success, 1 runtime error, 2 usage error, 130
+// interrupted).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rtexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp        = flag.String("exp", "", "experiment or figure ID to run (or 'all', 'paper', 'table1', 'table2')")
-		list       = flag.Bool("list", false, "list available experiments")
-		seeds      = flag.Int("seeds", 0, "override seeds per point (0 = paper fidelity)")
-		count      = flag.Int("count", 0, "override transactions per run (0 = paper fidelity)")
-		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		format     = flag.String("format", "text", "output format: text, md or csv")
-		plots      = flag.Bool("plot", false, "also render ASCII charts of the figures")
-		outDir     = flag.String("out", "", "also write one CSV file per figure into this directory")
-		quiet      = flag.Bool("q", false, "suppress progress output")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		exp        = fs.String("exp", "", "experiment or figure ID to run (or 'all', 'paper', 'table1', 'table2')")
+		list       = fs.Bool("list", false, "list available experiments")
+		seeds      = fs.Int("seeds", 0, "override seeds per point (0 = paper fidelity; adaptive mode: initial batch)")
+		count      = fs.Int("count", 0, "override transactions per run (0 = paper fidelity)")
+		workers    = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		format     = fs.String("format", "text", "output format: text, md or csv")
+		plots      = fs.Bool("plot", false, "also render ASCII charts of the figures")
+		outDir     = fs.String("out", "", "also write one CSV file per figure into this directory")
+		quiet      = fs.Bool("q", false, "suppress progress output")
+		targetCI   = fs.Float64("target-ci", 0, "adaptive precision: run each cell until CI95 <= this fraction of the mean (0 = fixed seeds)")
+		maxSeeds   = fs.Int("max-seeds", 0, "adaptive precision: per-cell seed cap (0 = 4x the initial batch)")
+		checkpoint = fs.String("checkpoint", "", "stream completed runs to this JSONL file (enables -resume after interruption)")
+		resume     = fs.Bool("resume", false, "replay the -checkpoint file, skipping runs it already holds")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(stderr, "rtexp: -resume requires -checkpoint (there is no file to replay)")
+		return 2
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rtexp: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rtexp: %v\n", err)
+			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "rtexp: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rtexp: %v\n", err)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -59,33 +91,33 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "rtexp: %v\n", err)
+				fmt.Fprintf(stderr, "rtexp: %v\n", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "rtexp: %v\n", err)
+				fmt.Fprintf(stderr, "rtexp: %v\n", err)
 			}
 		}()
 	}
 
 	if *list {
-		listExperiments()
-		return
+		listExperiments(stdout)
+		return 0
 	}
 	if *exp == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 
 	switch *exp {
 	case "table1":
-		emit(rtdbs.Table1(), *format)
-		return
+		emit(stdout, rtdbs.Table1(), *format)
+		return 0
 	case "table2":
-		emit(rtdbs.Table2(), *format)
-		return
+		emit(stdout, rtdbs.Table2(), *format)
+		return 0
 	}
 
 	var defs []rtdbs.Experiment
@@ -101,65 +133,111 @@ func main() {
 	default:
 		d, ok := rtdbs.ExperimentByID(*exp)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "rtexp: unknown experiment %q (try -list)\n", *exp)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rtexp: unknown experiment %q; valid IDs:\n", *exp)
+			for _, d := range rtdbs.Experiments() {
+				fmt.Fprintf(stderr, "  %s\n", d.ID)
+			}
+			fmt.Fprintln(stderr, "  all, paper, table1, table2 (or a figure ID like 4a; see -list)")
+			return 1
 		}
 		defs = []rtdbs.Experiment{d}
 	}
 
+	// SIGINT/SIGTERM cancel the sweep: in-flight runs drain and reach the
+	// checkpoint, then we exit with the conventional interrupt code.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *exp == "all" || *exp == "paper" {
-		emit(rtdbs.Table1(), *format)
-		fmt.Println()
-		emit(rtdbs.Table2(), *format)
-		fmt.Println()
+		emit(stdout, rtdbs.Table1(), *format)
+		fmt.Fprintln(stdout)
+		emit(stdout, rtdbs.Table2(), *format)
+		fmt.Fprintln(stdout)
 	}
 
 	allStart := time.Now()
 	totalRuns := 0
 	for _, def := range defs {
-		opt := rtdbs.ExperimentOptions{Seeds: *seeds, Count: *count, Workers: *workers}
+		opt := rtdbs.ExperimentOptions{
+			Seeds: *seeds, Count: *count, Workers: *workers,
+			TargetCI: *targetCI, MaxSeeds: *maxSeeds,
+			CheckpointPath: *checkpoint, Resume: *resume,
+		}
+		cells := len(def.Xs) * len(def.Variants)
+		cellsFinal := 0
+		// CellDone and Progress both run on Run's collector goroutine
+		// while this goroutine blocks in RunExperimentContext, so plain
+		// variables are safe.
+		opt.CellDone = func(xi, vi, n int, converged bool) { cellsFinal++ }
 		defRuns := 0
-		bar := progressBar(def)
+		start := time.Now()
 		opt.Progress = func(done, total int) {
 			defRuns = total
-			if !*quiet {
-				bar(done, total)
+			if *quiet {
+				return
 			}
+			line := fmt.Sprintf("\r   %d/%d runs", done, total)
+			if *targetCI > 0 {
+				line += fmt.Sprintf(", %d/%d cells final", cellsFinal, cells)
+			}
+			if done > 0 && done < total {
+				eta := time.Duration(float64(time.Since(start)) / float64(done) * float64(total-done))
+				line += fmt.Sprintf(", ETA %v", eta.Round(time.Second))
+			}
+			fmt.Fprintf(stderr, "%-60s", line)
 		}
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "== %s: %s\n", def.ID, def.Title)
+			fmt.Fprintf(stderr, "== %s: %s\n", def.ID, def.Title)
 		}
-		start := time.Now()
-		res, err := rtdbs.RunExperiment(def, opt)
+		res, err := rtdbs.RunExperimentContext(ctx, def, opt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rtexp: %v\n", err)
-			os.Exit(1)
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(stderr, "\nrtexp: interrupted; completed runs checkpointed\n")
+				if *checkpoint != "" {
+					fmt.Fprintf(stderr, "rtexp: resume with the same flags plus -resume -checkpoint %s\n", *checkpoint)
+				}
+				return 130
+			}
+			fmt.Fprintf(stderr, "rtexp: %v\n", err)
+			return 1
 		}
 		totalRuns += defRuns
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "\r   done in %v%s\n", time.Since(start).Round(time.Millisecond), strings.Repeat(" ", 20))
+			fmt.Fprintf(stderr, "\r   done in %v%s\n", time.Since(start).Round(time.Millisecond), strings.Repeat(" ", 40))
+			if *targetCI > 0 {
+				converged := 0
+				for xi := range res.Converged {
+					for _, ok := range res.Converged[xi] {
+						if ok {
+							converged++
+						}
+					}
+				}
+				fmt.Fprintf(stderr, "   %d/%d cells converged to ±%.3g relative CI95 (cap %s)\n",
+					converged, cells, *targetCI, seedCap(*maxSeeds, &def, *seeds))
+			}
 		}
 		tables := res.Tables()
 		for _, tbl := range tables {
-			emit(tbl, *format)
-			fmt.Println()
+			emit(stdout, tbl, *format)
+			fmt.Fprintln(stdout)
 		}
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
-				fmt.Fprintf(os.Stderr, "rtexp: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "rtexp: %v\n", err)
+				return 1
 			}
 			for i, tbl := range tables {
 				name := filepath.Join(*outDir, fmt.Sprintf("%s-%s.csv", def.ID, def.Figures[i].ID))
 				if err := os.WriteFile(name, []byte(tbl.CSV()), 0o644); err != nil {
-					fmt.Fprintf(os.Stderr, "rtexp: %v\n", err)
-					os.Exit(1)
+					fmt.Fprintf(stderr, "rtexp: %v\n", err)
+					return 1
 				}
 			}
 		}
 		if *plots {
 			for _, ch := range res.Charts() {
-				fmt.Println(ch.Render())
+				fmt.Fprintln(stdout, ch.Render())
 			}
 		}
 	}
@@ -169,35 +247,45 @@ func main() {
 		if elapsed > 0 {
 			rps = float64(totalRuns) / elapsed.Seconds()
 		}
-		fmt.Fprintf(os.Stderr, "== all experiments: %d runs in %v (%.1f runs/sec)\n",
+		fmt.Fprintf(stderr, "== all experiments: %d runs in %v (%.1f runs/sec)\n",
 			totalRuns, elapsed.Round(time.Millisecond), rps)
 	}
+	return 0
 }
 
-func listExperiments() {
+// seedCap formats the effective per-cell seed cap for the summary line.
+func seedCap(maxSeeds int, def *rtdbs.Experiment, seeds int) string {
+	if maxSeeds > 0 {
+		return fmt.Sprintf("%d seeds", maxSeeds)
+	}
+	initial := def.Seeds
+	if seeds > 0 {
+		initial = seeds
+	}
+	if initial < 2 {
+		initial = 2
+	}
+	return fmt.Sprintf("%d seeds", 4*initial)
+}
+
+func listExperiments(w io.Writer) {
 	for _, d := range rtdbs.Experiments() {
-		fmt.Printf("%-20s %s\n", d.ID, d.Title)
+		fmt.Fprintf(w, "%-20s %s\n", d.ID, d.Title)
 		for _, f := range d.Figures {
-			fmt.Printf("    %-10s %s\n", f.ID, f.Title)
+			fmt.Fprintf(w, "    %-10s %s\n", f.ID, f.Title)
 		}
 	}
-	fmt.Printf("%-20s %s\n", "table1", "Table 1 — base parameters (main memory)")
-	fmt.Printf("%-20s %s\n", "table2", "Table 2 — base parameters (disk resident)")
+	fmt.Fprintf(w, "%-20s %s\n", "table1", "Table 1 — base parameters (main memory)")
+	fmt.Fprintf(w, "%-20s %s\n", "table2", "Table 2 — base parameters (disk resident)")
 }
 
-func progressBar(def rtdbs.Experiment) func(done, total int) {
-	return func(done, total int) {
-		fmt.Fprintf(os.Stderr, "\r   %d/%d runs", done, total)
-	}
-}
-
-func emit(t *rtdbs.Table, format string) {
+func emit(w io.Writer, t *rtdbs.Table, format string) {
 	switch format {
 	case "md":
-		fmt.Print(t.Markdown())
+		fmt.Fprint(w, t.Markdown())
 	case "csv":
-		fmt.Print(t.CSV())
+		fmt.Fprint(w, t.CSV())
 	default:
-		fmt.Print(t.Text())
+		fmt.Fprint(w, t.Text())
 	}
 }

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestUnknownExperimentListsValidIDs: a typo'd -exp must exit non-zero and
+// tell the user what the valid IDs are, not just that theirs is wrong.
+func TestUnknownExperimentListsValidIDs(t *testing.T) {
+	code, _, stderr := runCLI(t, "-exp", "nope")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	for _, want := range []string{`unknown experiment "nope"`, "mm-rate", "disk-rate", "table1"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stderr missing %q:\n%s", want, stderr)
+		}
+	}
+}
+
+// TestResumeRequiresCheckpoint: -resume without -checkpoint is a usage
+// error (exit 2), caught before any simulation starts.
+func TestResumeRequiresCheckpoint(t *testing.T) {
+	code, _, stderr := runCLI(t, "-exp", "mm-rate", "-resume")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-resume requires -checkpoint") {
+		t.Errorf("stderr missing requirement message:\n%s", stderr)
+	}
+}
+
+// TestBadFlagExitsUsage: an unknown flag is a usage error.
+func TestBadFlagExitsUsage(t *testing.T) {
+	if code, _, _ := runCLI(t, "-no-such-flag"); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+// TestListExitsZero: -list prints the registry to stdout.
+func TestListExitsZero(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, want := range []string{"mm-rate", "disk-rate", "table1", "table2"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+// TestSmallSweepHappyPath: a shrunken sweep runs to completion and renders
+// its tables on stdout.
+func TestSmallSweepHappyPath(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-exp", "mm-rate", "-seeds", "2", "-count", "60", "-q")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "EDF-HP miss%") || !strings.Contains(stdout, "±95% (n)") {
+		t.Errorf("sweep output missing expected columns:\n%s", stdout)
+	}
+}
+
+// TestCheckpointThenResumeIdenticalOutput: the CLI-level resume guarantee —
+// an interrupted-then-resumed invocation must print exactly the tables an
+// uninterrupted one prints (here the "interruption" is a completed first
+// pass, the strongest case: everything replays, nothing reruns).
+func TestCheckpointThenResumeIdenticalOutput(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "sweep.jsonl")
+	args := []string{"-exp", "mm-rate", "-seeds", "2", "-count", "60", "-q", "-checkpoint", ckpt}
+	code, want, stderr := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("first pass exit code = %d; stderr:\n%s", code, stderr)
+	}
+	code, got, stderr := runCLI(t, append(args, "-resume")...)
+	if code != 0 {
+		t.Fatalf("resume exit code = %d; stderr:\n%s", code, stderr)
+	}
+	if want != got {
+		t.Errorf("resumed output differs from original:\n--- want\n%s--- got\n%s", want, got)
+	}
+}
+
+// TestAdaptiveFlagSmoke: -target-ci exercises the adaptive path end to end
+// and reports the convergence summary on stderr.
+func TestAdaptiveFlagSmoke(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-exp", "mm-rate", "-count", "60",
+		"-target-ci", "0.2", "-seeds", "2", "-max-seeds", "4")
+	if code != 0 {
+		t.Fatalf("exit code = %d; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "cells converged") {
+		t.Errorf("stderr missing convergence summary:\n%s", stderr)
+	}
+	if !strings.Contains(stdout, "(n=") {
+		t.Errorf("tables missing per-cell replication counts:\n%s", stdout)
+	}
+}

@@ -1,0 +1,237 @@
+package experiment
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+)
+
+// The checkpoint is a JSONL file: one self-describing record per line, so a
+// sweep can be killed at any moment and resumed without losing completed
+// work. Two record kinds share the file:
+//
+//   - {"kind":"header", ...}  written once per Run invocation; pins the
+//     definition ID and every option that affects results (transaction
+//     count, seed schedule, precision target, sweep points, variants).
+//     Resume refuses a checkpoint whose header disagrees with the current
+//     options — mixing schedules would silently corrupt aggregates.
+//   - {"kind":"run", ...}     one completed seed run with its full metrics
+//     summary. Replay skips these runs; because encoding/json round-trips
+//     float64 exactly (shortest-representation encoding), a resumed sweep
+//     folds bit-identical values and aggregates bit-identically to an
+//     uninterrupted one.
+//
+// Records of several definitions may share one file (rtexp -exp all): each
+// carries its definition ID, and loaders ignore other definitions' lines.
+// A truncated final line (a run killed mid-write) is tolerated; corruption
+// anywhere else is an error.
+
+// checkpointHeader pins the sweep parameters a checkpoint was written under.
+type checkpointHeader struct {
+	Kind     string    `json:"kind"`
+	Def      string    `json:"def"`
+	Count    int       `json:"count"`
+	Seeds    int       `json:"seeds"`
+	TargetCI float64   `json:"target_ci"`
+	MaxSeeds int       `json:"max_seeds"`
+	XLabel   string    `json:"x_label"`
+	Xs       []float64 `json:"xs"`
+	Variants []string  `json:"variants"`
+}
+
+// checkpointRecord is one completed seed run.
+type checkpointRecord struct {
+	Kind    string         `json:"kind"`
+	Def     string         `json:"def"`
+	Xi      int            `json:"xi"`
+	X       float64        `json:"x"`
+	Vi      int            `json:"vi"`
+	Variant string         `json:"variant"`
+	Seed    int64          `json:"seed"`
+	Result  metrics.Result `json:"result"`
+}
+
+// cellKey addresses one seed run of one cell.
+type cellKey struct {
+	xi, vi, seed int
+}
+
+// headerFor builds the header for the given definition and (normalised)
+// options: seeds is the effective initial batch, maxSeeds the effective cap
+// (0 in fixed mode).
+func headerFor(def Definition, opt Options, seeds, maxSeeds int) checkpointHeader {
+	names := make([]string, len(def.Variants))
+	for i, v := range def.Variants {
+		names[i] = v.Name
+	}
+	return checkpointHeader{
+		Kind:     "header",
+		Def:      def.ID,
+		Count:    opt.Count,
+		Seeds:    seeds,
+		TargetCI: opt.TargetCI,
+		MaxSeeds: maxSeeds,
+		XLabel:   def.XLabel,
+		Xs:       def.Xs,
+		Variants: names,
+	}
+}
+
+// equal reports whether two headers describe the same sweep schedule.
+func (h checkpointHeader) equal(o checkpointHeader) bool {
+	if h.Def != o.Def || h.Count != o.Count || h.Seeds != o.Seeds ||
+		h.TargetCI != o.TargetCI || h.MaxSeeds != o.MaxSeeds || h.XLabel != o.XLabel ||
+		len(h.Xs) != len(o.Xs) || len(h.Variants) != len(o.Variants) {
+		return false
+	}
+	for i := range h.Xs {
+		if h.Xs[i] != o.Xs[i] {
+			return false
+		}
+	}
+	for i := range h.Variants {
+		if h.Variants[i] != o.Variants[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// loadCheckpoint replays the checkpoint file for this definition. It
+// returns the completed runs keyed by cell and seed, and whether the file
+// already held this definition's header or runs (a prior, possibly partial,
+// execution). A missing file yields an empty replay.
+func loadCheckpoint(path string, def Definition, want checkpointHeader) (map[cellKey]metrics.Result, bool, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("experiment %s: reading checkpoint: %w", def.ID, err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	// Drop trailing empty lines so "last line" means the last record.
+	for len(lines) > 0 && len(bytes.TrimSpace(lines[len(lines)-1])) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	replayed := make(map[cellKey]metrics.Result)
+	sawPrior := false
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var kind struct {
+			Kind string `json:"kind"`
+			Def  string `json:"def"`
+		}
+		if err := json.Unmarshal(line, &kind); err != nil {
+			if i == len(lines)-1 {
+				// A run killed mid-write leaves a truncated final
+				// line; the record it held was never acknowledged,
+				// so dropping it is safe.
+				continue
+			}
+			return nil, false, fmt.Errorf("experiment %s: checkpoint %s line %d: %w", def.ID, path, i+1, err)
+		}
+		if kind.Def != def.ID {
+			continue
+		}
+		sawPrior = true
+		switch kind.Kind {
+		case "header":
+			var h checkpointHeader
+			if err := json.Unmarshal(line, &h); err != nil {
+				return nil, false, fmt.Errorf("experiment %s: checkpoint %s line %d: %w", def.ID, path, i+1, err)
+			}
+			if !h.equal(want) {
+				return nil, false, fmt.Errorf("experiment %s: checkpoint %s was written with different options (line %d); rerun with the original flags or remove it",
+					def.ID, path, i+1)
+			}
+		case "run":
+			var rec checkpointRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				if i == len(lines)-1 {
+					continue
+				}
+				return nil, false, fmt.Errorf("experiment %s: checkpoint %s line %d: %w", def.ID, path, i+1, err)
+			}
+			if rec.Xi < 0 || rec.Xi >= len(def.Xs) || rec.Vi < 0 || rec.Vi >= len(def.Variants) || rec.Seed < 1 {
+				return nil, false, fmt.Errorf("experiment %s: checkpoint %s line %d: run (%d,%d,%d) out of range",
+					def.ID, path, i+1, rec.Xi, rec.Vi, rec.Seed)
+			}
+			if rec.X != def.Xs[rec.Xi] || rec.Variant != def.Variants[rec.Vi].Name {
+				return nil, false, fmt.Errorf("experiment %s: checkpoint %s line %d: run does not match the sweep (x=%v variant=%q)",
+					def.ID, path, i+1, rec.X, rec.Variant)
+			}
+			replayed[cellKey{xi: rec.Xi, vi: rec.Vi, seed: int(rec.Seed)}] = rec.Result
+		default:
+			return nil, false, fmt.Errorf("experiment %s: checkpoint %s line %d: unknown record kind %q",
+				def.ID, path, i+1, kind.Kind)
+		}
+	}
+	return replayed, sawPrior, nil
+}
+
+// checkpointWriter appends records to the checkpoint, flushing after every
+// line so a killed process loses at most one partial (tolerated) line.
+type checkpointWriter struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+// openCheckpoint opens (creating if needed) the checkpoint for appending
+// and writes this invocation's header.
+func openCheckpoint(path string, head checkpointHeader) (*checkpointWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("experiment %s: opening checkpoint: %w", head.Def, err)
+	}
+	c := &checkpointWriter{f: f, w: bufio.NewWriter(f)}
+	if err := c.append(head); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// record appends one completed run.
+func (c *checkpointWriter) record(def Definition, o outcome) error {
+	return c.append(checkpointRecord{
+		Kind:    "run",
+		Def:     def.ID,
+		Xi:      o.xi,
+		X:       def.Xs[o.xi],
+		Vi:      o.vi,
+		Variant: def.Variants[o.vi].Name,
+		Seed:    o.seed,
+		Result:  o.res,
+	})
+}
+
+func (c *checkpointWriter) append(v any) error {
+	line, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("experiment: encoding checkpoint record: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := c.w.Write(line); err != nil {
+		return fmt.Errorf("experiment: writing checkpoint: %w", err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("experiment: flushing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the checkpoint file.
+func (c *checkpointWriter) Close() error {
+	if err := c.w.Flush(); err != nil {
+		c.f.Close()
+		return err
+	}
+	return c.f.Close()
+}

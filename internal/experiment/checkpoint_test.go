@@ -1,0 +1,269 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestResumeBitIdenticalAfterKill is the acceptance test for
+// checkpoint/resume: a sweep killed partway through (context cancellation,
+// exactly what SIGINT triggers in rtexp) and then resumed must aggregate
+// bit-identically to an uninterrupted sweep — every accumulator of every
+// cell compared with reflect.DeepEqual, in both fixed and adaptive mode.
+func TestResumeBitIdenticalAfterKill(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		opt  Options
+	}{
+		{"fixed", Options{Seeds: 4, Count: 100}},
+		{"adaptive", Options{Count: 100, TargetCI: 0.08, MaxSeeds: 6}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			def := adaptiveDef()
+			want, err := Run(context.Background(), def, mode.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			path := filepath.Join(t.TempDir(), "sweep.jsonl")
+
+			// Phase 1: cancel after a handful of completed runs. Serial
+			// workers make the kill point deterministic-ish; the guarantee
+			// must hold regardless of where it lands.
+			ctx, cancel := context.WithCancel(context.Background())
+			killOpt := mode.opt
+			killOpt.Workers = 1
+			killOpt.CheckpointPath = path
+			killOpt.Progress = func(done, total int) {
+				if done >= 3 {
+					cancel()
+				}
+			}
+			if _, err := Run(ctx, def, killOpt); !errors.Is(err, context.Canceled) {
+				t.Fatalf("killed sweep returned %v, want context.Canceled", err)
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(string(data), `"kind":"run"`) {
+				t.Fatal("checkpoint holds no completed runs after the kill")
+			}
+
+			// Phase 2: resume and finish.
+			resumeOpt := mode.opt
+			resumeOpt.CheckpointPath = path
+			resumeOpt.Resume = true
+			got, err := Run(context.Background(), def, resumeOpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want.Agg, got.Agg) {
+				t.Fatal("resumed aggregates differ from uninterrupted sweep")
+			}
+			if !reflect.DeepEqual(want.Converged, got.Converged) {
+				t.Fatal("resumed convergence flags differ from uninterrupted sweep")
+			}
+		})
+	}
+}
+
+// TestResumeOfCompleteCheckpointRunsNothing: resuming a finished sweep
+// replays everything and schedules zero new runs.
+func TestResumeOfCompleteCheckpointRunsNothing(t *testing.T) {
+	def := adaptiveDef()
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	opt := Options{Seeds: 2, Count: 60, CheckpointPath: path}
+	want, err := Run(context.Background(), def, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt.Resume = true
+	// Count executed (non-replayed) work via Progress deltas: the first
+	// callback reports every replayed run at once, so any later increase
+	// means a fresh simulation ran.
+	newRuns := 0
+	firstDone := -1
+	opt.Progress = func(done, total int) {
+		if firstDone < 0 {
+			firstDone = done
+		}
+		if done > firstDone {
+			newRuns++
+		}
+	}
+	got, err := Run(context.Background(), def, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newRuns != 0 {
+		t.Errorf("full resume executed %d new runs, want 0", newRuns)
+	}
+	if !reflect.DeepEqual(want.Agg, got.Agg) {
+		t.Fatal("full resume changed aggregates")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The resume appends exactly one more header and no run records.
+	if wantLen := len(before) + countHeaderBytes(t, def, opt); len(after) != wantLen {
+		t.Errorf("checkpoint grew by %d bytes on full resume, want %d (one header)",
+			len(after)-len(before), wantLen-len(before))
+	}
+}
+
+func countHeaderBytes(t *testing.T, def Definition, opt Options) int {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "probe.jsonl")
+	head := headerFor(def, opt, 2, 0)
+	w, err := openCheckpoint(path, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(data)
+}
+
+// TestFreshRunRefusesExistingCheckpoint: without Resume, a checkpoint that
+// already holds this definition's records is an error, not silent reuse.
+func TestFreshRunRefusesExistingCheckpoint(t *testing.T) {
+	def := adaptiveDef()
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	opt := Options{Seeds: 2, Count: 60, CheckpointPath: path}
+	if _, err := Run(context.Background(), def, opt); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Run(context.Background(), def, opt)
+	if err == nil || !strings.Contains(err.Error(), "resume") {
+		t.Fatalf("fresh run on existing checkpoint: err = %v, want a resume-or-remove error", err)
+	}
+}
+
+// TestResumeRefusesDifferentOptions: the header pins every option that
+// affects results; resuming under a different schedule is an error.
+func TestResumeRefusesDifferentOptions(t *testing.T) {
+	def := adaptiveDef()
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	if _, err := Run(context.Background(), def, Options{Seeds: 2, Count: 60, CheckpointPath: path}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Run(context.Background(), def, Options{Seeds: 3, Count: 60, CheckpointPath: path, Resume: true})
+	if err == nil || !strings.Contains(err.Error(), "different options") {
+		t.Fatalf("resume with different seeds: err = %v, want different-options error", err)
+	}
+	_, err = Run(context.Background(), def, Options{Seeds: 2, Count: 50, CheckpointPath: path, Resume: true})
+	if err == nil || !strings.Contains(err.Error(), "different options") {
+		t.Fatalf("resume with different count: err = %v, want different-options error", err)
+	}
+}
+
+// TestResumeMissingFileStartsFresh: -resume against a not-yet-created
+// checkpoint is not an error; the sweep simply starts from scratch.
+func TestResumeMissingFileStartsFresh(t *testing.T) {
+	def := adaptiveDef()
+	path := filepath.Join(t.TempDir(), "never-written.jsonl")
+	r, err := Run(context.Background(), def, Options{Seeds: 2, Count: 60, CheckpointPath: path, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Agg[0][0].N() != 2 {
+		t.Errorf("n = %d, want 2", r.Agg[0][0].N())
+	}
+}
+
+// TestResumeToleratesTruncatedFinalLine: a process killed mid-write leaves
+// a partial last line; resume must drop it and redo that run.
+func TestResumeToleratesTruncatedFinalLine(t *testing.T) {
+	def := adaptiveDef()
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	opt := Options{Seeds: 3, Count: 80, CheckpointPath: path}
+	want, err := Run(context.Background(), def, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the file mid-way through its final record.
+	if err := os.WriteFile(path, data[:len(data)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opt.Resume = true
+	got, err := Run(context.Background(), def, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Agg, got.Agg) {
+		t.Fatal("resume after truncation changed aggregates")
+	}
+}
+
+// TestResumeRejectsCorruptMiddle: corruption anywhere but the final line is
+// an error — silently skipping records would skew aggregates.
+func TestResumeRejectsCorruptMiddle(t *testing.T) {
+	def := adaptiveDef()
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	opt := Options{Seeds: 2, Count: 60, CheckpointPath: path}
+	if _, err := Run(context.Background(), def, opt); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	lines[1] = "{garbage\n"
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opt.Resume = true
+	if _, err := Run(context.Background(), def, opt); err == nil {
+		t.Fatal("corrupt mid-file record did not fail the resume")
+	}
+}
+
+// TestCheckpointSharedAcrossDefinitions: records of several definitions may
+// share one file (rtexp -exp all); each loader ignores the others' lines.
+func TestCheckpointSharedAcrossDefinitions(t *testing.T) {
+	defA := adaptiveDef()
+	defB := adaptiveDef()
+	defB.ID = "adaptive-test-b"
+	path := filepath.Join(t.TempDir(), "shared.jsonl")
+	opt := Options{Seeds: 2, Count: 60, CheckpointPath: path}
+	wantA, err := Run(context.Background(), defA, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := Run(context.Background(), defB, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Resume = true
+	gotA, err := Run(context.Background(), defA, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := Run(context.Background(), defB, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantA.Agg, gotA.Agg) || !reflect.DeepEqual(wantB.Agg, gotB.Agg) {
+		t.Fatal("shared checkpoint resume changed aggregates")
+	}
+}

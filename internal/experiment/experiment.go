@@ -3,12 +3,27 @@
 // figures it reproduces (Figures 4.a–4.f and 5.a–5.f, plus the Table 1/2
 // parameter listings and this repository's extension ablations).
 //
-// Runs fan out over a goroutine worker pool — the simulator itself is
-// single-threaded and deterministic per seed, so experiments use every core
-// while results stay exactly reproducible.
+// Run is an orchestration layer, not a fixed fan-out. Per (point, variant)
+// cell it either runs a fixed seed count (the paper's methodology) or, in
+// adaptive mode (Options.TargetCI > 0), keeps scheduling deterministic
+// per-seed runs until the 95% confidence half-width of the primary metric
+// falls below a relative target or a seed cap is hit. Runs fan out over a
+// goroutine worker pool — the simulator itself is single-threaded and
+// deterministic per seed, so experiments use every core while aggregates
+// stay exactly reproducible: results are always folded in seed order, so
+// the worker count, the adaptive schedule and checkpoint/resume cannot
+// change a single bit of the output.
+//
+// Long sweeps survive interruption: with Options.CheckpointPath set every
+// completed run is appended to a JSONL checkpoint, and a resumed sweep
+// (Options.Resume) replays the file to skip finished runs, aggregating
+// bit-identically to an uninterrupted one. Cancellation via the context
+// drains the worker pool without goroutine leaks and checkpoints every
+// in-flight run before returning.
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -17,6 +32,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/plot"
 	"repro/internal/report"
+	"repro/internal/stats"
 )
 
 // Variant is one curve of a figure: a name ("EDF-HP", "CCA", "5 TPS") and a
@@ -48,135 +64,376 @@ type Definition struct {
 }
 
 // Result holds the aggregated metrics of a sweep: Agg[xi][vi] aggregates
-// Seeds runs of variant vi at sweep point xi.
+// the completed seed runs of variant vi at sweep point xi (exactly the
+// fixed seed count, or the adaptive schedule's final n for the cell).
 type Result struct {
 	Def *Definition
 	Agg [][]*metrics.Aggregate
+	// Converged[xi][vi] reports whether the cell met the adaptive
+	// precision target (always true for fixed-seed runs; false for cells
+	// stopped by the MaxSeeds cap).
+	Converged [][]bool
 }
 
 // Options tune a run without changing what it measures.
 type Options struct {
-	// Seeds overrides the definition's seed count (0 keeps it).
+	// Seeds overrides the definition's seed count (0 keeps it). In
+	// adaptive mode this is the initial batch per cell.
 	Seeds int
 	// Count overrides the per-run transaction count (0 keeps the
 	// config's; used by tests and benchmarks to shrink runs).
 	Count int
 	// Workers bounds the worker pool (0 = GOMAXPROCS).
 	Workers int
-	// Progress, if set, receives (done, total) after every finished run.
+	// Progress, if set, receives (done, total) after every finished or
+	// replayed run. In adaptive mode total grows as cells extend their
+	// seed schedule. Called from Run's goroutine.
 	Progress func(done, total int)
+
+	// TargetCI, when > 0, enables adaptive replication: each cell keeps
+	// adding seeds until the CI95 half-width of the primary metric is at
+	// most TargetCI × |mean| (e.g. 0.05 = 5% of the mean), or MaxSeeds
+	// runs have been spent. A cell whose metric is exactly zero across
+	// all seeds counts as converged.
+	TargetCI float64
+	// MaxSeeds caps the per-cell seed count in adaptive mode
+	// (0 = 4× the initial batch).
+	MaxSeeds int
+	// Metric picks the accumulator whose confidence interval drives
+	// adaptive convergence (nil = miss percent).
+	Metric func(*metrics.Aggregate) *stats.Accumulator
+
+	// CheckpointPath, when set, streams one JSONL record per completed
+	// run to this file so an interrupted sweep can resume. A fresh run
+	// refuses a file that already holds records for this definition;
+	// pass Resume to replay them instead.
+	CheckpointPath string
+	// Resume replays CheckpointPath before running, skipping finished
+	// runs. The resumed sweep aggregates bit-identically to an
+	// uninterrupted one. A missing checkpoint file is not an error
+	// (the sweep simply starts from scratch).
+	Resume bool
+
+	// Instrument, if set, is called after each engine is built and
+	// before it runs (e.g. to attach a trace recorder). Called
+	// concurrently from worker goroutines.
+	Instrument func(xi, vi int, seed int64, e *core.Engine)
+	// Inspect, if set, is called after each run completes; a non-nil
+	// error cancels the sweep. Called concurrently from worker
+	// goroutines.
+	Inspect func(xi, vi int, seed int64, e *core.Engine, res metrics.Result) error
+	// CellDone, if set, receives each cell's final state (seed count and
+	// whether it met the precision target) as soon as the cell finishes.
+	// Called from Run's goroutine.
+	CellDone func(xi, vi, n int, converged bool)
 }
 
-// Run executes the sweep and aggregates per (point, variant).
-func Run(def Definition, opt Options) (*Result, error) {
+// metric returns the convergence accumulator selector.
+func (o *Options) metric() func(*metrics.Aggregate) *stats.Accumulator {
+	if o.Metric != nil {
+		return o.Metric
+	}
+	return func(a *metrics.Aggregate) *stats.Accumulator { return &a.MissPercent }
+}
+
+// job identifies one seed run of one cell.
+type job struct {
+	xi, vi int
+	seed   int64
+}
+
+type outcome struct {
+	job
+	res metrics.Result
+	err error
+}
+
+// cellState tracks one (point, variant) cell's adaptive schedule.
+type cellState struct {
+	// res holds completed results by seed (1-based); it may hold seeds
+	// beyond goal when a checkpoint replays a longer previous schedule.
+	res map[int]metrics.Result
+	// goal is the number of seeds currently requested for the cell.
+	goal int
+	// final marks the cell finished (converged or capped).
+	final bool
+	// converged reports whether the precision target was met.
+	converged bool
+}
+
+// completeUpTo reports whether seeds 1..n are all present.
+func (c *cellState) completeUpTo(n int) bool {
+	for s := 1; s <= n; s++ {
+		if _, ok := c.res[s]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// fold aggregates seeds 1..n in seed order (the canonical fold order that
+// makes every execution bit-identical).
+func (c *cellState) fold(n int) *metrics.Aggregate {
+	agg := &metrics.Aggregate{}
+	for s := 1; s <= n; s++ {
+		agg.Add(c.res[s])
+	}
+	return agg
+}
+
+// converged reports whether the accumulator meets the relative CI target.
+func converged(acc *stats.Accumulator, target float64) bool {
+	return acc.N() >= 2 && acc.RelCI95() <= target
+}
+
+// Run executes the sweep and aggregates per (point, variant). The context
+// cancels the sweep: no further runs are scheduled, in-flight runs drain
+// (and are checkpointed) and Run returns the context's error.
+func Run(ctx context.Context, def Definition, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	seeds := def.Seeds
 	if opt.Seeds > 0 {
 		seeds = opt.Seeds
+	}
+	if seeds <= 0 {
+		return nil, fmt.Errorf("experiment %s: seed count %d <= 0", def.ID, seeds)
+	}
+	adaptive := opt.TargetCI > 0
+	maxSeeds := 0
+	if adaptive {
+		if seeds < 2 {
+			seeds = 2 // a confidence interval needs at least two runs
+		}
+		maxSeeds = opt.MaxSeeds
+		if maxSeeds <= 0 {
+			maxSeeds = 4 * seeds
+		}
+		if seeds > maxSeeds {
+			seeds = maxSeeds
+		}
 	}
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	metric := opt.metric()
 
-	type job struct {
-		xi, vi int
-		seed   int64
+	nx, nv := len(def.Xs), len(def.Variants)
+	if nx == 0 || nv == 0 {
+		return nil, fmt.Errorf("experiment %s: no sweep points or variants", def.ID)
 	}
-	type outcome struct {
-		job
-		res metrics.Result
-		err error
+	cells := make([]cellState, nx*nv)
+	for i := range cells {
+		cells[i] = cellState{res: make(map[int]metrics.Result), goal: seeds}
 	}
 
-	var jobs []job
-	for xi := range def.Xs {
-		for vi := range def.Variants {
-			for s := 1; s <= seeds; s++ {
-				jobs = append(jobs, job{xi: xi, vi: vi, seed: int64(s)})
+	// Checkpoint: replay previous progress, then open for appending.
+	var ckpt *checkpointWriter
+	if opt.CheckpointPath != "" {
+		head := headerFor(def, opt, seeds, maxSeeds)
+		replayed, sawPrior, err := loadCheckpoint(opt.CheckpointPath, def, head)
+		if err != nil {
+			return nil, err
+		}
+		if sawPrior && !opt.Resume {
+			return nil, fmt.Errorf("experiment %s: checkpoint %s already holds this experiment's runs (resume or remove it)",
+				def.ID, opt.CheckpointPath)
+		}
+		for key, res := range replayed {
+			cells[key.xi*nv+key.vi].res[key.seed] = res
+		}
+		ckpt, err = openCheckpoint(opt.CheckpointPath, head)
+		if err != nil {
+			return nil, err
+		}
+		defer ckpt.Close()
+	}
+
+	// Seed the schedule: per-cell jobs for the initial goal, counting
+	// replayed runs as done, then advance each cell (replay may complete
+	// it, or in adaptive mode extend it).
+	var pending []job
+	done, total := 0, 0
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+		pending = nil
+	}
+	progress := func() {
+		if opt.Progress != nil {
+			opt.Progress(done, total)
+		}
+	}
+	// advance drives a cell's state machine at deterministic points: only
+	// when every seed up to the current goal has completed does it decide
+	// to finish or extend, so the final schedule is a pure function of
+	// the results, never of worker timing.
+	advance := func(idx int) {
+		c := &cells[idx]
+		for !c.final && firstErr == nil && c.completeUpTo(c.goal) {
+			if !adaptive {
+				c.final, c.converged = true, true
+			} else if acc := metric(c.fold(c.goal)); converged(acc, opt.TargetCI) {
+				c.final, c.converged = true, true
+			} else if c.goal >= maxSeeds {
+				c.final, c.converged = true, false
+			}
+			if c.final {
+				if opt.CellDone != nil {
+					opt.CellDone(idx/nv, idx%nv, c.goal, c.converged)
+				}
+				return
+			}
+			// Extend by half the current schedule (at least one seed).
+			next := c.goal + c.goal/2
+			if next <= c.goal {
+				next = c.goal + 1
+			}
+			if next > maxSeeds {
+				next = maxSeeds
+			}
+			for s := c.goal + 1; s <= next; s++ {
+				total++
+				if _, ok := c.res[s]; ok {
+					done++
+				} else {
+					pending = append(pending, job{xi: idx / nv, vi: idx % nv, seed: int64(s)})
+				}
+			}
+			c.goal = next
+		}
+	}
+	for idx := range cells {
+		c := &cells[idx]
+		for s := 1; s <= c.goal; s++ {
+			total++
+			if _, ok := c.res[s]; ok {
+				done++
+			} else {
+				pending = append(pending, job{xi: idx / nv, vi: idx % nv, seed: int64(s)})
 			}
 		}
 	}
+	for idx := range cells {
+		advance(idx)
+	}
+	if done > 0 {
+		progress()
+	}
 
+	// Worker pool. Workers only ever read def/opt and own their engine;
+	// all bookkeeping happens on this goroutine's collector loop.
 	jobCh := make(chan job)
-	outCh := make(chan outcome, len(jobs))
-	cancel := make(chan struct{}) // closed on the first error: stops the feeder
+	outCh := make(chan outcome)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobCh {
-				cfg := def.Variants[j.vi].Configure(def.Xs[j.xi], j.seed)
-				if opt.Count > 0 {
-					cfg.Workload.Count = opt.Count
-				}
-				var res metrics.Result
-				e, err := core.New(cfg)
-				if err == nil {
-					res, err = e.Run()
-				}
+				res, err := runOne(&def, &opt, j)
 				outCh <- outcome{job: j, res: res, err: err}
 			}
 		}()
 	}
-	go func() {
-		defer close(jobCh)
-		for _, j := range jobs {
-			select {
-			case jobCh <- j:
-			case <-cancel:
-				return
-			}
-		}
-	}()
-	go func() {
-		wg.Wait()
-		close(outCh)
-	}()
 
-	// Collect by seed so aggregation order is deterministic. On a run error
-	// the feeder is cancelled and outCh drained to completion — every worker
-	// and the feeder exit before Run returns, leaking nothing.
-	bySeed := make([][][]metrics.Result, len(def.Xs))
-	for xi := range bySeed {
-		bySeed[xi] = make([][]metrics.Result, len(def.Variants))
-		for vi := range bySeed[xi] {
-			bySeed[xi][vi] = make([]metrics.Result, seeds)
-		}
-	}
-	var firstErr error
-	done := 0
-	for o := range outCh {
+	handle := func(o outcome) {
 		if o.err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("experiment %s: %s at %s=%v seed %d: %w",
-					def.ID, def.Variants[o.vi].Name, def.XLabel, def.Xs[o.xi], o.seed, o.err)
-				close(cancel)
-			}
-			continue
+			fail(fmt.Errorf("experiment %s: %s at %s=%v seed %d: %w",
+				def.ID, def.Variants[o.vi].Name, def.XLabel, def.Xs[o.xi], o.seed, o.err))
+			return
 		}
-		bySeed[o.xi][o.vi][o.seed-1] = o.res
+		idx := o.xi*nv + o.vi
+		cells[idx].res[int(o.seed)] = o.res
+		if ckpt != nil {
+			if err := ckpt.record(def, o); err != nil {
+				fail(err)
+			}
+		}
 		done++
-		if opt.Progress != nil {
-			opt.Progress(done, len(jobs))
+		progress()
+		advance(idx)
+	}
+
+	// Collector: dispatch pending jobs and fold outcomes until the
+	// schedule drains, an error occurs, or the context cancels. In-flight
+	// runs always drain before Run returns — nothing leaks, and every
+	// completed run reaches the checkpoint.
+	inflight := 0
+	canceled := false
+	ctxDone := ctx.Done()
+	for inflight > 0 || (len(pending) > 0 && !canceled && firstErr == nil) {
+		var sendCh chan job
+		var next job
+		if len(pending) > 0 && !canceled && firstErr == nil {
+			sendCh, next = jobCh, pending[0]
+		}
+		select {
+		case sendCh <- next:
+			pending = pending[1:]
+			inflight++
+		case o := <-outCh:
+			inflight--
+			handle(o)
+		case <-ctxDone:
+			canceled = true
+			ctxDone = nil
 		}
 	}
+	close(jobCh)
+	wg.Wait()
+
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	if canceled {
+		return nil, fmt.Errorf("experiment %s: %w", def.ID, ctx.Err())
+	}
 
-	r := &Result{Def: &def, Agg: make([][]*metrics.Aggregate, len(def.Xs))}
-	for xi := range def.Xs {
-		r.Agg[xi] = make([]*metrics.Aggregate, len(def.Variants))
-		for vi := range def.Variants {
-			agg := &metrics.Aggregate{}
-			for s := 0; s < seeds; s++ {
-				agg.Add(bySeed[xi][vi][s])
-			}
-			r.Agg[xi][vi] = agg
+	r := &Result{
+		Def:       &def,
+		Agg:       make([][]*metrics.Aggregate, nx),
+		Converged: make([][]bool, nx),
+	}
+	for xi := 0; xi < nx; xi++ {
+		r.Agg[xi] = make([]*metrics.Aggregate, nv)
+		r.Converged[xi] = make([]bool, nv)
+		for vi := 0; vi < nv; vi++ {
+			c := &cells[xi*nv+vi]
+			r.Agg[xi][vi] = c.fold(c.goal)
+			r.Converged[xi][vi] = c.converged
 		}
 	}
 	return r, nil
+}
+
+// runOne executes a single seed run on a worker goroutine.
+func runOne(def *Definition, opt *Options, j job) (metrics.Result, error) {
+	cfg := def.Variants[j.vi].Configure(def.Xs[j.xi], j.seed)
+	if opt.Count > 0 {
+		cfg.Workload.Count = opt.Count
+	}
+	e, err := core.New(cfg)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	if opt.Instrument != nil {
+		opt.Instrument(j.xi, j.vi, j.seed, e)
+	}
+	res, err := e.Run()
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	if opt.Inspect != nil {
+		if err := opt.Inspect(j.xi, j.vi, j.seed, e, res); err != nil {
+			return metrics.Result{}, err
+		}
+	}
+	return res, nil
 }
 
 // Summary returns the across-seed mean result at a sweep point/variant.

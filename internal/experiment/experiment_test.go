@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"reflect"
 	"runtime"
 	"strings"
@@ -70,7 +71,7 @@ func TestRunSmallSweep(t *testing.T) {
 	def := findDef(t, "mm-rate")
 	def.Xs = []float64{2, 8}
 	var progressed int
-	r, err := Run(def, Options{Seeds: 3, Count: 120, Progress: func(done, total int) { progressed = done }})
+	r, err := Run(context.Background(), def, Options{Seeds: 3, Count: 120, Progress: func(done, total int) { progressed = done }})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,11 +102,11 @@ func TestRunSmallSweep(t *testing.T) {
 func TestRunDeterministicAggregation(t *testing.T) {
 	def := findDef(t, "mm-rate")
 	def.Xs = []float64{6}
-	a, err := Run(def, Options{Seeds: 3, Count: 100, Workers: 1})
+	a, err := Run(context.Background(), def, Options{Seeds: 3, Count: 100, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(def, Options{Seeds: 3, Count: 100, Workers: runtime.GOMAXPROCS(0)})
+	b, err := Run(context.Background(), def, Options{Seeds: 3, Count: 100, Workers: runtime.GOMAXPROCS(0)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,11 +122,11 @@ func TestRunDeterministicAggregation(t *testing.T) {
 func TestRunDeterministicAggregationMultiCPU(t *testing.T) {
 	def := findDef(t, "ablation-mp")
 	def.Xs = []float64{2, 4}
-	a, err := Run(def, Options{Seeds: 2, Count: 80, Workers: 1})
+	a, err := Run(context.Background(), def, Options{Seeds: 2, Count: 80, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(def, Options{Seeds: 2, Count: 80, Workers: runtime.GOMAXPROCS(0)})
+	b, err := Run(context.Background(), def, Options{Seeds: 2, Count: 80, Workers: runtime.GOMAXPROCS(0)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestSummaryPreservesCommitCounts(t *testing.T) {
 	def := findDef(t, "mm-rate")
 	def.Xs = []float64{8}
 	const count = 90
-	r, err := Run(def, Options{Seeds: 3, Count: count})
+	r, err := Run(context.Background(), def, Options{Seeds: 3, Count: count})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestRunErrorLeaksNoGoroutines(t *testing.T) {
 	}
 	before := runtime.NumGoroutine()
 	for i := 0; i < 20; i++ {
-		if _, err := Run(def, Options{Workers: 4}); err == nil {
+		if _, err := Run(context.Background(), def, Options{Workers: 4}); err == nil {
 			t.Fatal("invalid sweep did not fail")
 		}
 	}
@@ -196,7 +197,7 @@ func TestRunPropagatesEngineErrors(t *testing.T) {
 			return core.Config{} // invalid: fails validation
 		}}},
 	}
-	if _, err := Run(def, Options{}); err == nil {
+	if _, err := Run(context.Background(), def, Options{}); err == nil {
 		t.Fatal("invalid config did not propagate an error")
 	} else if !strings.Contains(err.Error(), "bad") {
 		t.Fatalf("error lacks experiment context: %v", err)
@@ -241,7 +242,7 @@ func TestTrimFloat(t *testing.T) {
 func TestChartsRendered(t *testing.T) {
 	def := findDef(t, "mm-rate")
 	def.Xs = []float64{4, 8}
-	r, err := Run(def, Options{Seeds: 2, Count: 60})
+	r, err := Run(context.Background(), def, Options{Seeds: 2, Count: 60})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +266,7 @@ func TestChartsRendered(t *testing.T) {
 func TestClassTableRendered(t *testing.T) {
 	def := findDef(t, "mm-variance")
 	def.Xs = []float64{1.0}
-	r, err := Run(def, Options{Seeds: 2, Count: 80})
+	r, err := Run(context.Background(), def, Options{Seeds: 2, Count: 80})
 	if err != nil {
 		t.Fatal(err)
 	}

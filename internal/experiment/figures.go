@@ -55,19 +55,20 @@ func conditionalWorkload(pessimistic bool) func(*core.Config, float64) {
 // Generic renderers.
 
 // curveTable renders one metric for every variant across the sweep, with
-// 95% confidence half-widths.
+// 95% confidence half-widths and the replication count behind each mean
+// (which varies per cell under adaptive precision).
 func curveTable(title, xLabel string, metric string, pick func(*metrics.Aggregate) *stats.Accumulator) func(*Definition, *Result) *report.Table {
 	return func(def *Definition, r *Result) *report.Table {
 		cols := []string{xLabel}
 		for _, v := range def.Variants {
-			cols = append(cols, v.Name+" "+metric, "±95%")
+			cols = append(cols, v.Name+" "+metric, "±95% (n)")
 		}
 		t := report.NewTable(title, cols...)
 		for xi, x := range def.Xs {
 			row := []string{trimFloat(x)}
 			for vi := range def.Variants {
 				acc := pick(r.Agg[xi][vi])
-				row = append(row, report.F(acc.Mean()), report.F(acc.CI95()))
+				row = append(row, report.F(acc.Mean()), report.CIn(acc.CI95(), acc.N()))
 			}
 			t.AddRow(row...)
 		}

@@ -189,41 +189,45 @@ func (r *Run) Result() Result {
 	return res
 }
 
-// Result holds the derived metrics of one run.
+// Result holds the derived metrics of one run. The JSON tags define the
+// stable summary codec used by experiment checkpoints: every field is a
+// float64, an int or a time.Duration (int64 nanoseconds), all of which
+// encoding/json round-trips exactly, so a decoded summary is bit-identical
+// to the one computed in-process.
 type Result struct {
-	Committed             int
-	Dropped               int
-	MissPercent           float64
-	MeanLatenessMs        float64 // mean tardiness, ms
-	MeanSignedLatenessMs  float64
-	P50LatenessMs         float64
-	P90LatenessMs         float64
-	P99LatenessMs         float64
-	MaxLatenessMs         float64
-	MeanResponseMs        float64
-	RestartsPerTxn        float64
-	WastedServiceMs       float64
-	LockWaits             int
-	Deadlocks             int
-	NoncontributingAborts int
-	CPUUtilization        float64
-	DiskUtilization       float64
-	AvgPListSize          float64
-	AvgLiveTxns           float64
-	Restarts              int
-	Elapsed               time.Duration
+	Committed             int           `json:"committed"`
+	Dropped               int           `json:"dropped"`
+	MissPercent           float64       `json:"miss_percent"`
+	MeanLatenessMs        float64       `json:"mean_lateness_ms"` // mean tardiness, ms
+	MeanSignedLatenessMs  float64       `json:"mean_signed_lateness_ms"`
+	P50LatenessMs         float64       `json:"p50_lateness_ms"`
+	P90LatenessMs         float64       `json:"p90_lateness_ms"`
+	P99LatenessMs         float64       `json:"p99_lateness_ms"`
+	MaxLatenessMs         float64       `json:"max_lateness_ms"`
+	MeanResponseMs        float64       `json:"mean_response_ms"`
+	RestartsPerTxn        float64       `json:"restarts_per_txn"`
+	WastedServiceMs       float64       `json:"wasted_service_ms"`
+	LockWaits             int           `json:"lock_waits"`
+	Deadlocks             int           `json:"deadlocks"`
+	NoncontributingAborts int           `json:"noncontributing_aborts"`
+	CPUUtilization        float64       `json:"cpu_utilization"`
+	DiskUtilization       float64       `json:"disk_utilization"`
+	AvgPListSize          float64       `json:"avg_plist_size"`
+	AvgLiveTxns           float64       `json:"avg_live_txns"`
+	Restarts              int           `json:"restarts"`
+	Elapsed               time.Duration `json:"elapsed_ns"`
 	// Classes holds per-class results, ascending by class (empty for
 	// single-class workloads that only ever observed class 0... class 0
 	// is still reported so callers can treat it uniformly).
-	Classes []ClassResult
+	Classes []ClassResult `json:"classes,omitempty"`
 }
 
 // ClassResult is the per-compute-class breakdown of a run.
 type ClassResult struct {
-	Class          int
-	Committed      int
-	MissPercent    float64
-	MeanLatenessMs float64
+	Class          int     `json:"class"`
+	Committed      int     `json:"committed"`
+	MissPercent    float64 `json:"miss_percent"`
+	MeanLatenessMs float64 `json:"mean_lateness_ms"`
 }
 
 // String summarises a result on one line.

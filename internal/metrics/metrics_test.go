@@ -1,7 +1,9 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -212,5 +214,47 @@ func TestResultString(t *testing.T) {
 	s := Result{MissPercent: 12.5, MeanLatenessMs: 42, RestartsPerTxn: 0.5}.String()
 	if !strings.Contains(s, "12.50%") || !strings.Contains(s, "42.00ms") {
 		t.Fatalf("String() = %q", s)
+	}
+}
+
+// TestResultJSONExactRoundTrip: the checkpoint format depends on Result
+// surviving encode→decode bit-identically, including awkward float64
+// values — Go's encoding/json uses shortest-representation encoding, which
+// round-trips every finite float exactly.
+func TestResultJSONExactRoundTrip(t *testing.T) {
+	in := Result{
+		Committed: 997, Dropped: 3,
+		MissPercent:          100.0 / 3.0,
+		MeanLatenessMs:       0.1 + 0.2,                // 0.30000000000000004
+		MeanSignedLatenessMs: -4.9406564584124654e-324, // smallest denormal
+		P50LatenessMs:        math.MaxFloat64,
+		P90LatenessMs:        math.SmallestNonzeroFloat64,
+		P99LatenessMs:        1e300,
+		MaxLatenessMs:        math.Pi,
+		MeanResponseMs:       math.E,
+		RestartsPerTxn:       1.0 / 7.0,
+		WastedServiceMs:      2.5e-15,
+		LockWaits:            12, Deadlocks: 1, NoncontributingAborts: 7,
+		CPUUtilization:  0.9999999999999999,
+		DiskUtilization: 1e-17,
+		AvgPListSize:    6.000000000000001,
+		AvgLiveTxns:     17.3,
+		Restarts:        88,
+		Elapsed:         123456789 * time.Nanosecond,
+		Classes: []ClassResult{
+			{Class: 0, Committed: 500, MissPercent: 1.0 / 3.0, MeanLatenessMs: 0.7},
+			{Class: 1, Committed: 497, MissPercent: 2.0 / 3.0, MeanLatenessMs: 0.07},
+		},
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Result
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip not exact:\n in: %#v\nout: %#v", in, out)
 	}
 }

@@ -134,6 +134,11 @@ func (t *Table) CSV() string {
 	return b.String()
 }
 
+// CIn formats a confidence half-width together with the replication count
+// behind it, "0.42 (n=10)" — the precision statement attached to every
+// figure value, so tables state how many runs back each mean.
+func CIn(ci float64, n int) string { return fmt.Sprintf("%.2f (n=%d)", ci, n) }
+
 // F formats a float with two decimals (helper for table rows).
 func F(v float64) string { return fmt.Sprintf("%.2f", v) }
 

@@ -99,3 +99,12 @@ func TestFormatHelpers(t *testing.T) {
 		t.Errorf("F3 = %q", F3(0.1234))
 	}
 }
+
+func TestCIn(t *testing.T) {
+	if got := CIn(0.4218, 10); got != "0.42 (n=10)" {
+		t.Errorf("CIn = %q, want \"0.42 (n=10)\"", got)
+	}
+	if got := CIn(0, 2); got != "0.00 (n=2)" {
+		t.Errorf("CIn = %q, want \"0.00 (n=2)\"", got)
+	}
+}

@@ -353,3 +353,38 @@ func TestQuickImprovementProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRelCI95(t *testing.T) {
+	var a Accumulator
+	if !math.IsInf(a.RelCI95(), 1) {
+		t.Error("n=0: want +Inf")
+	}
+	a.Add(10)
+	if !math.IsInf(a.RelCI95(), 1) {
+		t.Error("n=1: want +Inf")
+	}
+	a.Add(12)
+	a.Add(8)
+	want := a.CI95() / a.Mean()
+	if got := a.RelCI95(); got != want {
+		t.Errorf("RelCI95 = %v, want CI95/mean = %v", got, want)
+	}
+	var z Accumulator
+	z.Add(0)
+	z.Add(0)
+	if z.RelCI95() != 0 {
+		t.Errorf("all-zero: RelCI95 = %v, want 0 (estimate is exact)", z.RelCI95())
+	}
+	var m Accumulator
+	m.Add(-1)
+	m.Add(1)
+	if !math.IsInf(m.RelCI95(), 1) {
+		t.Error("zero mean with spread: want +Inf (no relative scale)")
+	}
+	var n Accumulator
+	n.Add(-5)
+	n.Add(-7)
+	if n.RelCI95() < 0 {
+		t.Error("negative mean: relative CI must use |mean|")
+	}
+}

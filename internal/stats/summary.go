@@ -74,6 +74,25 @@ func (a *Accumulator) CI95() float64 {
 	return tCritical95(a.n-1) * a.StdErr()
 }
 
+// RelCI95 returns the CI95 half-width relative to the magnitude of the
+// mean — the convergence measure of adaptive-precision sweeps. With fewer
+// than two observations no interval exists and the result is +Inf. A zero
+// mean yields 0 when every observation was zero (the estimate is exact)
+// and +Inf otherwise (no relative scale exists).
+func (a *Accumulator) RelCI95() float64 {
+	if a.n < 2 {
+		return math.Inf(1)
+	}
+	ci := a.CI95()
+	if a.mean == 0 {
+		if ci == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return ci / math.Abs(a.mean)
+}
+
 // String formats the accumulator as "mean ± ci95 (n=..)".
 func (a *Accumulator) String() string {
 	return fmt.Sprintf("%.4g ± %.2g (n=%d)", a.Mean(), a.CI95(), a.N())

@@ -1,0 +1,49 @@
+package txn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseProgram throws arbitrary text at the program parser. Invalid
+// input must produce an error, never a panic; valid input must satisfy the
+// canonicalisation property: parse → write reaches a fixed point in one
+// step (re-parsing the rendered text and rendering again yields the same
+// bytes), and the parsed program passes analysis.
+func FuzzParseProgram(f *testing.F) {
+	f.Add("program transfer\nnode transfer accesses 0\n  node ok accesses 1\n  node overdraft accesses 1 3 4\n")
+	f.Add("program p\nnode root\n")
+	f.Add("program p\nnode a accesses 0 1 2\n  node b accesses 3\n    node c accesses 4\n  node d accesses 5\n")
+	f.Add("# comment only\nprogram x\nnode r accesses 007 +5\n")
+	f.Add("program bad\nnode a\nnode b\n")
+	f.Add("")
+	f.Add("program p\nnode a accesses -1\n")
+	f.Add("program p\n\tnode a\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := ParseProgram(strings.NewReader(text))
+		if err != nil {
+			return // rejected input; only panics are failures
+		}
+		var first bytes.Buffer
+		if err := WriteProgram(&first, p); err != nil {
+			t.Fatalf("parsed program failed to render: %v", err)
+		}
+		p2, err := ParseProgram(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("rendered program failed to re-parse: %v\n%s", err, first.String())
+		}
+		var second bytes.Buffer
+		if err := WriteProgram(&second, p2); err != nil {
+			t.Fatalf("re-parsed program failed to render: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("canonical form not a fixed point:\n--- first\n%s--- second\n%s", first.String(), second.String())
+		}
+		// A program that validates must also analyse (hasaccessed /
+		// mightaccess construction cannot fail on a valid tree).
+		if _, err := Analyze(p); err != nil {
+			t.Fatalf("valid program failed analysis: %v", err)
+		}
+	})
+}

@@ -232,6 +232,69 @@ func TestQuickAnalysisInvariants(t *testing.T) {
 	}
 }
 
+// Property: classification refinement is monotone as transactions advance
+// through their trees — the behaviour the scheduler relies on when it
+// re-evaluates relations at decision points (§3.2.2):
+//
+//   - a descendant's mightaccess is a subset of its ancestor's, so
+//     NoConflict at a node persists at every descendant, and Conflict at a
+//     node persists at every descendant;
+//   - two leaf states can never ConditionallyConflict (each has a single
+//     execution path, so the leaf-pair intersection is all-or-nothing);
+//   - as the partially executed side advances (hasaccessed grows), safety
+//     only degrades: Safe < ConditionallyUnsafe < Unsafe is monotone
+//     non-decreasing down the tree.
+func TestQuickConflictRefinementMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := MustAnalyze(genProgram(rng, "A"))
+		b := MustAnalyze(genProgram(rng, "B"))
+		var descend func(n *Node, visit func(anc, desc *Node))
+		descend = func(n *Node, visit func(anc, desc *Node)) {
+			var walk func(d *Node)
+			walk = func(d *Node) {
+				visit(n, d)
+				for _, c := range d.Children {
+					walk(c)
+				}
+			}
+			walk(n)
+			for _, c := range n.Children {
+				descend(c, visit)
+			}
+		}
+		ok := true
+		for _, lb := range b.Labels() {
+			sb := At(b, lb)
+			descend(a.Program().Root, func(anc, desc *Node) {
+				cAnc := ConflictBetween(At(a, anc.Label), sb)
+				cDesc := ConflictBetween(At(a, desc.Label), sb)
+				if cAnc == NoConflict && cDesc != NoConflict {
+					ok = false
+				}
+				if cAnc == Conflict && cDesc != Conflict {
+					ok = false
+				}
+				// Safety of the advancing side is monotone non-decreasing.
+				if SafetyOf(At(a, anc.Label), sb) > SafetyOf(At(a, desc.Label), sb) {
+					ok = false
+				}
+			})
+			if b.IsLeaf(lb) {
+				for _, la := range a.Labels() {
+					if a.IsLeaf(la) && ConflictBetween(At(a, la), sb) == ConditionallyConflict {
+						ok = false
+					}
+				}
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 75}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: conflict classification trichotomy and consistency with
 // might-access sets on random tree pairs.
 func TestQuickConflictConsistency(t *testing.T) {

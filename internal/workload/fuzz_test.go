@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// fuzzSeedJSON renders a small generated workload as seed-corpus JSON.
+func fuzzSeedJSON(tb testing.TB, mutate func(*Params)) []byte {
+	tb.Helper()
+	p := BaseMainMemory()
+	p.Count = 6
+	p.ArrivalRate = 10
+	if mutate != nil {
+		mutate(&p)
+	}
+	w, err := Generate(p, 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := w.WriteJSON(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzCodecRoundTrip throws arbitrary bytes at the workload codec. Corrupt
+// input must produce an error, never a panic; input the decoder accepts
+// must round-trip exactly: decode ∘ encode is the identity on accepted
+// workloads (encode → decode → compare, then encode again → identical
+// bytes).
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(fuzzSeedJSON(f, nil))
+	f.Add(fuzzSeedJSON(f, func(p *Params) { p.ReadFraction = 0.5 }))
+	f.Add(fuzzSeedJSON(f, func(p *Params) {
+		p.DiskAccessProb = 0.5
+		p.DiskAccessTime = 25 * time.Millisecond
+		p.CriticalityLevels = 3
+	}))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"params":{"db_size":0},"txns":[]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"params":` + `{` + `"DBSize":3},"txns":[{"id":0,"items":[9]}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input; only panics are failures
+		}
+		var enc bytes.Buffer
+		if err := w.WriteJSON(&enc); err != nil {
+			t.Fatalf("accepted workload failed to encode: %v", err)
+		}
+		w2, err := ReadJSON(bytes.NewReader(enc.Bytes()))
+		if err != nil {
+			t.Fatalf("encoded workload failed to decode: %v\n%s", err, enc.String())
+		}
+		if !reflect.DeepEqual(w, w2) {
+			t.Fatal("decode(encode(w)) != w for an accepted workload")
+		}
+		var enc2 bytes.Buffer
+		if err := w2.WriteJSON(&enc2); err != nil {
+			t.Fatalf("re-encoding failed: %v", err)
+		}
+		if !bytes.Equal(enc.Bytes(), enc2.Bytes()) {
+			t.Fatal("encoding is not deterministic across a round trip")
+		}
+	})
+}

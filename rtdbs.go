@@ -36,6 +36,7 @@
 package rtdbs
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
@@ -238,7 +239,14 @@ func ExperimentByID(id string) (Experiment, bool) { return experiment.ByID(id) }
 // RunExperiment executes a sweep and returns its aggregated results;
 // call Tables on the result to render its figures.
 func RunExperiment(def Experiment, opt ExperimentOptions) (*ExperimentResult, error) {
-	return experiment.Run(def, opt)
+	return experiment.Run(context.Background(), def, opt)
+}
+
+// RunExperimentContext is RunExperiment under a context: cancellation stops
+// scheduling further runs, drains in-flight ones (checkpointing them when a
+// checkpoint is configured) and returns the context's error.
+func RunExperimentContext(ctx context.Context, def Experiment, opt ExperimentOptions) (*ExperimentResult, error) {
+	return experiment.Run(ctx, def, opt)
 }
 
 // Table1 and Table2 render the paper's base-parameter tables.
