@@ -66,6 +66,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		resume     = fs.Bool("resume", false, "replay the -checkpoint file, skipping runs it already holds")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+
+		oracle     = fs.Bool("oracle", false, "run every simulation under the runtime safety oracle (a violated paper invariant fails the run)")
+		faultSpec  = fs.String("fault", "", "fault-injection plan applied to every run: inline JSON ({...}) or a path to a JSON file")
+		admission  = fs.String("admission", "", "admission mode applied to every run: reject-newest or reject-infeasible (empty = per-experiment default)")
+		admMax     = fs.Int("admission-max", 0, "live-set cap for -admission (required for reject-newest)")
+		maxRetries = fs.Int("max-retries", 0, "retries per failed run (panic or oracle violation) before recording the seed as failed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -73,6 +79,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *resume && *checkpoint == "" {
 		fmt.Fprintln(stderr, "rtexp: -resume requires -checkpoint (there is no file to replay)")
 		return 2
+	}
+	var faultPlan rtdbs.FaultPlan
+	if *faultSpec != "" {
+		data := []byte(*faultSpec)
+		if (*faultSpec)[0] != '{' {
+			var err error
+			data, err = os.ReadFile(*faultSpec)
+			if err != nil {
+				fmt.Fprintf(stderr, "rtexp: %v\n", err)
+				return 2
+			}
+		}
+		var err error
+		faultPlan, err = rtdbs.ParseFaultPlan(data)
+		if err != nil {
+			fmt.Fprintf(stderr, "rtexp: %v\n", err)
+			return 2
+		}
 	}
 
 	if *cpuProfile != "" {
@@ -157,11 +181,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	allStart := time.Now()
 	totalRuns := 0
+	failedRuns := 0
 	for _, def := range defs {
 		opt := rtdbs.ExperimentOptions{
 			Seeds: *seeds, Count: *count, Workers: *workers,
 			TargetCI: *targetCI, MaxSeeds: *maxSeeds,
 			CheckpointPath: *checkpoint, Resume: *resume,
+			Oracle: *oracle, Fault: faultPlan, MaxRetries: *maxRetries,
+			Admission: rtdbs.AdmissionConfig{Mode: rtdbs.AdmissionMode(*admission), MaxLive: *admMax},
 		}
 		cells := len(def.Xs) * len(def.Variants)
 		cellsFinal := 0
@@ -217,6 +244,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 					converged, cells, *targetCI, seedCap(*maxSeeds, &def, *seeds))
 			}
 		}
+		// Failed seeds did not abort the sweep, but their cells aggregate
+		// fewer runs; list each so the exact run can be reproduced.
+		if len(res.Failures) > 0 {
+			failedRuns += len(res.Failures)
+			fmt.Fprintf(stderr, "   %d run(s) failed and were excluded from their cells:\n", len(res.Failures))
+			for _, f := range res.Failures {
+				fmt.Fprintf(stderr, "     %s at %s=%v seed %d (%d attempt(s)): %s\n",
+					f.Variant, def.XLabel, f.X, f.Seed, f.Attempts, f.Message)
+			}
+		}
 		tables := res.Tables()
 		for _, tbl := range tables {
 			emit(stdout, tbl, *format)
@@ -249,6 +286,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stderr, "== all experiments: %d runs in %v (%.1f runs/sec)\n",
 			totalRuns, elapsed.Round(time.Millisecond), rps)
+	}
+	if failedRuns > 0 {
+		fmt.Fprintf(stderr, "rtexp: %d run(s) failed (see above); their cells aggregate the remaining seeds\n", failedRuns)
+		return 1
 	}
 	return 0
 }

@@ -36,6 +36,12 @@ func main() {
 		verbose = flag.Bool("v", false, "print per-seed results")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		faultSpec = flag.String("fault", "", "fault-injection plan: inline JSON ({...}) or a path to a JSON file")
+		oracle    = flag.Bool("oracle", false, "enable the runtime safety oracle (fails the run on the first violated paper invariant)")
+		watchdog  = flag.Int("watchdog", 0, "watchdog budget: max same-instant events before declaring a stall (0 = default, <0 = off)")
+		admission = flag.String("admission", "", "admission mode: reject-newest or reject-infeasible (empty = admit all)")
+		admMax    = flag.Int("admission-max", 0, "live-set cap for the admission controller (required for reject-newest)")
 	)
 	flag.Parse()
 
@@ -82,6 +88,16 @@ func main() {
 	if *dbsize > 0 {
 		cfg.Workload.DBSize = *dbsize
 	}
+	if *faultSpec != "" {
+		plan, err := loadFaultPlan(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtsim: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Fault = plan
+	}
+	cfg.WatchdogBudget = *watchdog
+	cfg.Admission = rtdbs.AdmissionConfig{Mode: rtdbs.AdmissionMode(*admission), MaxLive: *admMax}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "rtsim: %v\n", err)
 		os.Exit(2)
@@ -106,6 +122,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rtsim: %v\n", err)
 			os.Exit(1)
 		}
+		if *oracle {
+			e.EnableOracle()
+		}
 		res, err := e.Run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rtsim: %v\n", err)
@@ -124,6 +143,9 @@ func main() {
 		e.SetTrace(func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		})
+		if *oracle {
+			e.EnableOracle()
+		}
 		res, err := e.Run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rtsim: %v\n", err)
@@ -137,7 +159,15 @@ func main() {
 	for s := *seed; s < *seed+int64(*seeds); s++ {
 		c := cfg
 		c.Seed = s
-		res, err := rtdbs.Run(c)
+		e, err := rtdbs.New(c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtsim: seed %d: %v\n", s, err)
+			os.Exit(1)
+		}
+		if *oracle {
+			e.EnableOracle()
+		}
+		res, err := e.Run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rtsim: seed %d: %v\n", s, err)
 			os.Exit(1)
@@ -160,4 +190,24 @@ func main() {
 	if sum.LockWaits > 0 || sum.Deadlocks > 0 {
 		fmt.Printf("  lock waits  = %d, deadlocks = %d\n", sum.LockWaits, sum.Deadlocks)
 	}
+	if sum.Admitted > 0 || sum.Rejected > 0 {
+		fmt.Printf("  admitted    = %d, rejected = %d\n", sum.Admitted, sum.Rejected)
+	}
+	if sum.RetriedIO > 0 || sum.FaultAborts > 0 {
+		fmt.Printf("  io retries  = %d, fault aborts = %d\n", sum.RetriedIO, sum.FaultAborts)
+	}
+}
+
+// loadFaultPlan parses a fault plan given inline ("{...}") or as a path to
+// a JSON file.
+func loadFaultPlan(spec string) (rtdbs.FaultPlan, error) {
+	data := []byte(spec)
+	if len(spec) == 0 || spec[0] != '{' {
+		var err error
+		data, err = os.ReadFile(spec)
+		if err != nil {
+			return rtdbs.FaultPlan{}, err
+		}
+	}
+	return rtdbs.ParseFaultPlan(data)
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/disk"
+	"repro/internal/fault"
 	"repro/internal/workload"
 )
 
@@ -123,6 +124,20 @@ type Config struct {
 	// MaxEvents bounds the simulation as a runaway guard; 0 picks a
 	// generous default derived from the workload size.
 	MaxEvents uint64
+	// Fault declares the deterministic fault plan of the run: disk latency
+	// spikes, transient IO errors with bounded retry, brownout windows,
+	// CPU jitter, spurious aborts and arrival bursts, all drawn from named
+	// substreams of Seed. The zero value injects nothing and leaves the
+	// run bit-identical to an unfaulted one.
+	Fault fault.Plan
+	// Admission configures the overload controller consulted at every
+	// arrival; the zero value admits everything (the paper's model).
+	Admission AdmissionConfig
+	// WatchdogBudget bounds how many consecutive events the engine may
+	// execute without the simulated clock advancing before the run fails
+	// fast with a stall diagnostic. 0 picks a generous default scaled to
+	// the workload; < 0 disables the watchdog.
+	WatchdogBudget int
 }
 
 // MainMemoryConfig returns the paper's §4 base configuration (Table 1) for
@@ -180,6 +195,12 @@ func (c Config) Validate() error {
 		// protocols ([Sha88], [SRSC91]) are defined for main-memory
 		// databases, and so is this implementation.
 		return fmt.Errorf("core: PCP requires a main-memory-resident database (ceiling guarantees assume no self-suspension)")
+	}
+	if err := c.Fault.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := c.Admission.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -27,10 +27,12 @@ import (
 	"math"
 	"slices"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/db"
 	"repro/internal/disk"
+	"repro/internal/fault"
 	"repro/internal/history"
 	"repro/internal/lock"
 	"repro/internal/metrics"
@@ -92,12 +94,20 @@ type Engine struct {
 
 	committed int
 	dropped   int
+	rejected  int
 	hasReads  bool // any shared-lock accesses in the workload
 	run       metrics.Run
 	lastNote  sim.Time
 
 	inReschedule    bool
 	rescheduleAgain bool
+
+	// fault injects the configured fault plan (Config.Fault); nil for the
+	// zero plan, so unfaulted runs never touch the fault streams.
+	fault *fault.Injector
+	// oracle, when non-nil, validates the paper's invariants live
+	// (EnableOracle).
+	oracle *Oracle
 
 	// trace, when non-nil, receives engine events (tests and examples).
 	trace func(format string, args ...any)
@@ -111,7 +121,7 @@ func New(cfg Config) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	wl, err := workload.Generate(cfg.Workload, cfg.Seed)
+	wl, err := workload.GenerateFaulted(cfg.Workload, cfg.Seed, cfg.Fault.Bursts)
 	if err != nil {
 		return nil, err
 	}
@@ -173,13 +183,23 @@ func NewWithWorkload(cfg Config, wl *workload.Workload) (*Engine, error) {
 	if e.evalMode == EvalConflictClocked && e.ci == nil {
 		e.evalMode = EvalDynamic
 	}
+	if !cfg.Fault.Zero() {
+		// One shared injector: draws happen in simulation-event order
+		// across all disks and transactions, which is what makes a
+		// faulted run deterministic and bit-reproducible.
+		e.fault = fault.NewInjector(cfg.Seed, cfg.Fault)
+	}
 	if cfg.Workload.DiskAccessProb > 0 {
 		n := cfg.NumDisks
 		if n <= 0 {
 			n = 1
 		}
 		for i := 0; i < n; i++ {
-			e.disks = append(e.disks, disk.New(e.sim, cfg.Workload.DiskAccessTime, cfg.DiskDiscipline))
+			d := disk.New(e.sim, cfg.Workload.DiskAccessTime, cfg.DiskDiscipline)
+			if e.fault != nil {
+				d.SetFaults(e.fault)
+			}
+			e.disks = append(e.disks, d)
 		}
 	}
 	// The Txn records and their bitsets are carved out of two slab
@@ -245,10 +265,21 @@ func (e *Engine) SetTrace(fn func(format string, args ...any)) { e.trace = fn }
 // SetRecorder installs a structured event recorder (nil disables).
 func (e *Engine) SetRecorder(r trace.Recorder) { e.rec = r }
 
-// emit sends a structured event to the recorder, if any.
+// InjectEvent feeds a forged trace event through the engine's observers
+// (oracle and recorder). It exists for fault-injection tooling: forging a
+// violating event is how tests prove the oracle actually aborts a run.
+func (e *Engine) InjectEvent(ev trace.Event) { e.emit(ev) }
+
+// emit sends a structured event to the oracle and the recorder, if any.
 func (e *Engine) emit(ev trace.Event) {
+	if e.rec == nil && e.oracle == nil {
+		return
+	}
+	ev.At = time.Duration(e.sim.Now())
+	if e.oracle != nil {
+		e.oracle.observe(ev)
+	}
 	if e.rec != nil {
-		ev.At = time.Duration(e.sim.Now())
 		e.rec.Record(ev)
 	}
 }
@@ -271,28 +302,85 @@ func (e *Engine) Txns() []*Txn { return e.all }
 // Run executes the simulation to completion and returns the run metrics.
 // It fails if the event guard trips before every transaction commits (which
 // would indicate an engine bug — the workload is finite and soft-deadline
-// transactions are never dropped).
+// transactions are never dropped), if the stall watchdog detects a
+// non-advancing calendar, or if the safety oracle (EnableOracle) records a
+// violation — the latter two fail fast, at the offending event, instead of
+// spinning to the guard.
 func (e *Engine) Run() (metrics.Result, error) {
 	for _, t := range e.all {
 		t := t
 		e.sim.At(sim.Time(t.Spec.Arrival), func() { e.onArrival(t) })
 	}
 	guard := e.cfg.maxEvents(len(e.all))
-	e.sim.RunLimit(guard)
-	if e.committed+e.dropped != len(e.all) {
+	budget := e.cfg.WatchdogBudget
+	if budget == 0 {
+		// Default: generously above any legitimate same-instant burst
+		// (every live transaction can transition a few times per instant).
+		budget = 16*len(e.all) + 1024
+	}
+	var (
+		stallAt    sim.Time
+		stallCount int
+	)
+	for e.sim.Executed() < guard && e.sim.Step() {
+		if e.oracle != nil && e.oracle.err != nil {
+			return metrics.Result{}, fmt.Errorf("core: oracle: %w", e.oracle.err)
+		}
+		if budget > 0 {
+			if now := e.sim.Now(); now != stallAt {
+				stallAt, stallCount = now, 0
+			} else if stallCount++; stallCount > budget {
+				return metrics.Result{}, fmt.Errorf("core: watchdog: %s", e.stallDump(budget))
+			}
+		}
+	}
+	if e.committed+e.dropped+e.rejected != len(e.all) {
 		return metrics.Result{}, fmt.Errorf("core: %d/%d transactions finished after %d events (engine stall or guard too low)",
-			e.committed+e.dropped, len(e.all), e.sim.Executed())
+			e.committed+e.dropped+e.rejected, len(e.all), e.sim.Executed())
 	}
 	if len(e.disks) > 0 {
 		// Drain any orphaned in-service accesses so busy time is complete.
 		e.sim.Run()
 		for _, d := range e.disks {
 			e.run.DiskBusy += d.BusyTime()
+			e.run.RetriedIO += d.Retried()
 		}
 		e.run.Disks = len(e.disks)
 	}
+	if e.oracle != nil {
+		if err := e.oracle.finish(); err != nil {
+			return metrics.Result{}, fmt.Errorf("core: oracle: %w", err)
+		}
+	}
 	e.store.CheckClean()
 	return e.run.Result(), nil
+}
+
+// stallDump renders the watchdog's diagnostic: where the calendar stuck
+// and what every live transaction was doing, so a stall is debuggable from
+// the error alone.
+func (e *Engine) stallDump(budget int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "calendar stalled at t=%v: %d events executed without the clock advancing (budget %d); %d/%d finished, %d live",
+		time.Duration(e.sim.Now()), budget, budget, e.committed+e.dropped+e.rejected, len(e.all), len(e.live))
+	counts := make(map[State]int)
+	for _, t := range e.live {
+		counts[t.state]++
+	}
+	for st := StateReady; st <= StateRejected; st++ {
+		if counts[st] > 0 {
+			fmt.Fprintf(&b, "; %d %v", counts[st], st)
+		}
+	}
+	const sample = 8
+	for i, t := range e.live {
+		if i >= sample {
+			fmt.Fprintf(&b, "; … %d more", len(e.live)-sample)
+			break
+		}
+		fmt.Fprintf(&b, "; T%d %v item %d/%d", t.ID(), t.state, t.next, len(t.Spec.Items))
+	}
+	return b.String()
 }
 
 // diskFor returns the disk serving the given item (items stripe across
@@ -398,6 +486,22 @@ func (e *Engine) rollbackCost(v *Txn) time.Duration {
 
 func (e *Engine) onArrival(t *Txn) {
 	e.note()
+	if e.cfg.Admission.Mode != AdmitAll {
+		if e.rejects(t) {
+			// The transaction never enters the system: no live-set entry,
+			// no deadline event, no locks. It counts as a miss.
+			t.state = StateRejected
+			e.rejected++
+			e.run.Rejected++
+			e.tracef("T%d rejected at arrival (%s, %d live)", t.ID(), e.cfg.Admission.Mode, len(e.live))
+			e.emit(trace.Event{Kind: trace.Reject, Txn: t.ID(), Other: -1, Item: -1})
+			if now := time.Duration(e.sim.Now()); now > e.run.Elapsed {
+				e.run.Elapsed = now
+			}
+			return
+		}
+		e.run.Admitted++
+	}
 	t.state = StateReady
 	e.live = append(e.live, t)
 	e.ranked = append(e.ranked, t)
@@ -423,6 +527,17 @@ func (e *Engine) onUpdateDone(t *Txn) {
 	e.run.CPUBusy += elapsed
 	t.remain = 0
 	t.ioDone = false
+	if e.fault != nil && e.fault.SpuriousAbort() {
+		// The slice's CPU time is already accrued (and will be counted as
+		// wasted service by abort); the update itself never applies.
+		e.run.FaultAborts++
+		e.tracef("T%d spuriously aborted by the fault plan (update %d/%d)", t.ID(), t.next+1, len(t.Spec.Items))
+		e.abort(t)
+		if e.rescheduleAgain && !e.inReschedule {
+			e.reschedule()
+		}
+		return
+	}
 	e.applyUpdate(t)
 	if t.mightNarrow != nil && t.next == t.Spec.DecisionIndex {
 		// The decision point has executed: the transaction is now
@@ -457,6 +572,17 @@ func (e *Engine) onIODone(t *Txn, req *disk.Request) {
 		return
 	}
 	t.ioReq = nil
+	if req.Failed() {
+		// The access exhausted its transient-error retries: treat the
+		// permanent failure as a media error that aborts (restarts) the
+		// transaction. ioReq is already nil, so detach's IO branch no-ops
+		// and the restart is immediate.
+		e.run.FaultAborts++
+		e.tracef("T%d IO failed permanently after %d retries; restarting", t.ID(), req.Attempts())
+		e.abort(t)
+		e.reschedule()
+		return
+	}
 	t.ioDone = true
 	t.state = StateReady
 	if e.trace != nil {
@@ -587,6 +713,12 @@ func (e *Engine) proceedItem(t *Txn) {
 		return
 	}
 	t.remain = t.Spec.Compute
+	if e.fault != nil {
+		// CPU jitter applies to fresh slices only; a preempted slice
+		// resumes its drawn remainder, so the draw count is independent
+		// of the preemption pattern.
+		t.remain = e.fault.ComputeTime(t.remain)
+	}
 	t.sliceStart = e.sim.Now()
 	t.cpuEvent = e.sim.After(t.remain, t.updateDoneFn)
 }
@@ -745,7 +877,9 @@ func (e *Engine) detach(v *Txn) {
 		granted, _ := e.lm.CancelWait(lock.TxnID(v.ID()))
 		e.wake(granted)
 	case StateIOWait:
-		if v.ioReq != nil && v.ioReq.Queued() {
+		if v.ioReq != nil && !v.ioReq.InService() {
+			// Queued, or waiting out a transient-error retry backoff:
+			// either way the disk can drop it immediately.
 			e.diskFor(v.Spec.Items[v.next]).Cancel(v.ioReq)
 			v.ioReq = nil
 		}

@@ -29,6 +29,9 @@ const (
 	StateCommitted
 	// StateDropped: discarded at its deadline (firm-deadline mode only).
 	StateDropped
+	// StateRejected: turned away at arrival by the admission controller
+	// (Config.Admission); the transaction never entered the system.
+	StateRejected
 )
 
 // String names the state.
@@ -48,6 +51,8 @@ func (s State) String() string {
 		return "committed"
 	case StateDropped:
 		return "dropped"
+	case StateRejected:
+		return "rejected"
 	default:
 		return fmt.Sprintf("State(%d)", int(s))
 	}

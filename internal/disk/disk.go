@@ -35,6 +35,25 @@ func (d Discipline) String() string {
 	return "fcfs"
 }
 
+// Faults is the disk's fault-injection hook (implemented by
+// fault.Injector). The disk consults ServiceTime when an access starts
+// service (latency spikes, brownouts) and TransientError when it
+// completes; a transient error is retried after an exponentially backed
+// off delay up to the RetryPolicy limit, after which the request
+// completes failed. A nil Faults — the default — leaves the disk's
+// behaviour exactly as before.
+type Faults interface {
+	// ServiceTime maps the nominal access time to the (possibly inflated)
+	// actual service time of an access starting at instant now.
+	ServiceTime(now, base time.Duration) time.Duration
+	// TransientError reports whether the access that just completed
+	// failed transiently.
+	TransientError() bool
+	// RetryPolicy returns the retry limit and the first backoff delay
+	// (attempt n waits backoff << (n-1)).
+	RetryPolicy() (limit int, backoff time.Duration)
+}
+
 // Request is one disk access.
 type Request struct {
 	// Done is invoked at completion, in simulated time. It is not called
@@ -50,6 +69,11 @@ type Request struct {
 	queued    bool
 	inService bool
 	cancelled bool
+
+	attempts   int // transient-error retries consumed so far
+	retryWait  bool
+	retryEvent sim.Handle
+	failed     bool
 }
 
 // InService reports whether the request is currently being served.
@@ -58,11 +82,21 @@ func (r *Request) InService() bool { return r.inService }
 // Queued reports whether the request is waiting in the disk queue.
 func (r *Request) Queued() bool { return r.queued }
 
+// Failed reports whether the request exhausted its transient-error
+// retries; its Done callback still runs, and the caller decides what a
+// permanently failed access means (the engine aborts the transaction).
+func (r *Request) Failed() bool { return r.failed }
+
+// Attempts returns the number of transient-error retries the request
+// consumed.
+func (r *Request) Attempts() int { return r.attempts }
+
 // Disk is a single-server queueing model of a disk.
 type Disk struct {
 	sim        *sim.Simulator
 	accessTime time.Duration
 	discipline Discipline
+	faults     Faults
 
 	queue   []*Request
 	current *Request
@@ -72,6 +106,8 @@ type Disk struct {
 	busyTotal  time.Duration
 	served     int
 	cancelled  int
+	retried    int
+	failed     int
 	maxQueue   int
 	queuedArea float64 // integral of queue length over time, for stats
 	lastChange sim.Time
@@ -84,6 +120,10 @@ func New(s *sim.Simulator, accessTime time.Duration, d Discipline) *Disk {
 	}
 	return &Disk{sim: s, accessTime: accessTime, discipline: d}
 }
+
+// SetFaults installs the fault-injection hook. Must be called before any
+// request is submitted; nil (the default) disables injection.
+func (d *Disk) SetFaults(f Faults) { d.faults = f }
 
 // AccessTime returns the per-request service time.
 func (d *Disk) AccessTime() time.Duration { return d.accessTime }
@@ -99,6 +139,12 @@ func (d *Disk) Served() int { return d.served }
 
 // Cancelled returns the number of requests cancelled while queued.
 func (d *Disk) Cancelled() int { return d.cancelled }
+
+// Retried returns the number of transient-error retries served.
+func (d *Disk) Retried() int { return d.retried }
+
+// Failed returns the number of requests that exhausted their retries.
+func (d *Disk) Failed() int { return d.failed }
 
 // MaxQueueLen returns the high-water mark of the wait queue.
 func (d *Disk) MaxQueueLen() int { return d.maxQueue }
@@ -164,14 +210,21 @@ func (d *Disk) Submit(r *Request) {
 	}
 }
 
-// Cancel removes a request that is still waiting in the queue. It reports
-// whether the request was removed; a request in service cannot be cancelled
-// (the disk stays busy until it completes, per the paper), but its Done
-// callback is suppressed.
+// Cancel removes a request that is still waiting in the queue or in a
+// retry backoff. It reports whether the request was removed; a request in
+// service cannot be cancelled (the disk stays busy until it completes, per
+// the paper), but its Done callback is suppressed.
 func (d *Disk) Cancel(r *Request) bool {
 	if r.inService {
 		r.cancelled = true // suppress Done; service runs to completion
 		return false
+	}
+	if r.retryWait {
+		d.sim.Cancel(r.retryEvent)
+		r.retryWait = false
+		r.cancelled = true
+		d.cancelled++
+		return true
 	}
 	if !r.queued {
 		return false
@@ -194,17 +247,58 @@ func (d *Disk) startService(r *Request) {
 	r.inService = true
 	d.current = r
 	d.busySince = d.sim.Now()
-	d.sim.After(d.accessTime, func() { d.complete(r) })
+	t := d.accessTime
+	if d.faults != nil {
+		t = d.faults.ServiceTime(d.sim.Now(), t)
+	}
+	d.sim.After(t, func() { d.complete(r) })
 }
 
 func (d *Disk) complete(r *Request) {
 	d.busyTotal += time.Duration(d.sim.Now() - d.busySince)
 	r.inService = false
 	d.current = nil
+	// A transient error sends the request into a backed-off retry instead
+	// of completing it; the disk itself is free to serve others meanwhile.
+	// Cancelled requests never retry — their transaction is gone.
+	if d.faults != nil && !r.cancelled && d.faults.TransientError() {
+		limit, backoff := d.faults.RetryPolicy()
+		if r.attempts < limit {
+			r.attempts++
+			d.retried++
+			req := r
+			r.retryWait = true
+			r.retryEvent = d.sim.After(backoff<<(r.attempts-1), func() { d.resubmit(req) })
+			d.startNext()
+			return
+		}
+		r.failed = true
+		d.failed++
+	}
 	d.served++
 	d.startNext()
 	if !r.cancelled {
 		r.Done()
+	}
+}
+
+// resubmit re-enters a request after its retry backoff. The request keeps
+// its original seq, so under the Priority discipline it retains its age
+// tiebreak.
+func (d *Disk) resubmit(r *Request) {
+	r.retryWait = false
+	if r.cancelled {
+		return
+	}
+	if d.current == nil {
+		d.startService(r)
+		return
+	}
+	d.noteQueueChange()
+	r.queued = true
+	d.queue = append(d.queue, r)
+	if len(d.queue) > d.maxQueue {
+		d.maxQueue = len(d.queue)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/metrics"
 )
 
@@ -24,6 +25,11 @@ import (
 //     float64 exactly (shortest-representation encoding), a resumed sweep
 //     folds bit-identical values and aggregates bit-identically to an
 //     uninterrupted one.
+//   - {"kind":"failed", ...}  one seed run that exhausted its retries: the
+//     failure message and the attempt count, so the exact run can be
+//     reproduced from the recorded seed. Replay skips these seeds too;
+//     a later "run" record for the same seed (a rerun after a fix)
+//     overrides the failure.
 //
 // Records of several definitions may share one file (rtexp -exp all): each
 // carries its definition ID, and loaders ignore other definitions' lines.
@@ -41,6 +47,13 @@ type checkpointHeader struct {
 	XLabel   string    `json:"x_label"`
 	Xs       []float64 `json:"xs"`
 	Variants []string  `json:"variants"`
+	// Robustness options that change what every run computes (omitted
+	// when off, so checkpoints from before these options existed still
+	// resume cleanly).
+	Oracle     bool   `json:"oracle,omitempty"`
+	MaxRetries int    `json:"max_retries,omitempty"`
+	Fault      string `json:"fault,omitempty"`
+	Admission  string `json:"admission,omitempty"`
 }
 
 // checkpointRecord is one completed seed run.
@@ -55,9 +68,29 @@ type checkpointRecord struct {
 	Result  metrics.Result `json:"result"`
 }
 
+// checkpointFailure is one seed run that exhausted its retries.
+type checkpointFailure struct {
+	Kind     string  `json:"kind"`
+	Def      string  `json:"def"`
+	Xi       int     `json:"xi"`
+	X        float64 `json:"x"`
+	Vi       int     `json:"vi"`
+	Variant  string  `json:"variant"`
+	Seed     int64   `json:"seed"`
+	Attempts int     `json:"attempts"`
+	Error    string  `json:"error"`
+}
+
 // cellKey addresses one seed run of one cell.
 type cellKey struct {
 	xi, vi, seed int
+}
+
+// replay is the outcome of loading a checkpoint: completed runs and
+// finally-failed seeds, keyed by cell and seed.
+type replay struct {
+	runs     map[cellKey]metrics.Result
+	failures map[cellKey]RunFailure
 }
 
 // headerFor builds the header for the given definition and (normalised)
@@ -68,16 +101,35 @@ func headerFor(def Definition, opt Options, seeds, maxSeeds int) checkpointHeade
 	for i, v := range def.Variants {
 		names[i] = v.Name
 	}
+	faultStr := ""
+	if !opt.Fault.Zero() {
+		// The plan is small and deterministic to encode; its canonical
+		// JSON doubles as the equality key in equal().
+		b, err := json.Marshal(opt.Fault)
+		if err != nil {
+			faultStr = fmt.Sprintf("unencodable: %v", err)
+		} else {
+			faultStr = string(b)
+		}
+	}
+	admStr := ""
+	if opt.Admission.Mode != core.AdmitAll {
+		admStr = fmt.Sprintf("%s/%d", opt.Admission.Mode, opt.Admission.MaxLive)
+	}
 	return checkpointHeader{
-		Kind:     "header",
-		Def:      def.ID,
-		Count:    opt.Count,
-		Seeds:    seeds,
-		TargetCI: opt.TargetCI,
-		MaxSeeds: maxSeeds,
-		XLabel:   def.XLabel,
-		Xs:       def.Xs,
-		Variants: names,
+		Kind:       "header",
+		Def:        def.ID,
+		Count:      opt.Count,
+		Seeds:      seeds,
+		TargetCI:   opt.TargetCI,
+		MaxSeeds:   maxSeeds,
+		XLabel:     def.XLabel,
+		Xs:         def.Xs,
+		Variants:   names,
+		Oracle:     opt.Oracle,
+		MaxRetries: opt.MaxRetries,
+		Fault:      faultStr,
+		Admission:  admStr,
 	}
 }
 
@@ -85,6 +137,8 @@ func headerFor(def Definition, opt Options, seeds, maxSeeds int) checkpointHeade
 func (h checkpointHeader) equal(o checkpointHeader) bool {
 	if h.Def != o.Def || h.Count != o.Count || h.Seeds != o.Seeds ||
 		h.TargetCI != o.TargetCI || h.MaxSeeds != o.MaxSeeds || h.XLabel != o.XLabel ||
+		h.Oracle != o.Oracle || h.MaxRetries != o.MaxRetries ||
+		h.Fault != o.Fault || h.Admission != o.Admission ||
 		len(h.Xs) != len(o.Xs) || len(h.Variants) != len(o.Variants) {
 		return false
 	}
@@ -102,24 +156,37 @@ func (h checkpointHeader) equal(o checkpointHeader) bool {
 }
 
 // loadCheckpoint replays the checkpoint file for this definition. It
-// returns the completed runs keyed by cell and seed, and whether the file
-// already held this definition's header or runs (a prior, possibly partial,
-// execution). A missing file yields an empty replay.
-func loadCheckpoint(path string, def Definition, want checkpointHeader) (map[cellKey]metrics.Result, bool, error) {
+// returns the completed and finally-failed runs keyed by cell and seed,
+// and whether the file already held this definition's header or runs (a
+// prior, possibly partial, execution). A missing file yields an empty
+// replay. Records are applied in file order, so for one seed the latest
+// record wins — a rerun that succeeds clears an earlier failure.
+func loadCheckpoint(path string, def Definition, want checkpointHeader) (replay, bool, error) {
+	rep := replay{runs: make(map[cellKey]metrics.Result), failures: make(map[cellKey]RunFailure)}
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return nil, false, nil
+		return rep, false, nil
 	}
 	if err != nil {
-		return nil, false, fmt.Errorf("experiment %s: reading checkpoint: %w", def.ID, err)
+		return rep, false, fmt.Errorf("experiment %s: reading checkpoint: %w", def.ID, err)
 	}
 	lines := bytes.Split(data, []byte("\n"))
 	// Drop trailing empty lines so "last line" means the last record.
 	for len(lines) > 0 && len(bytes.TrimSpace(lines[len(lines)-1])) == 0 {
 		lines = lines[:len(lines)-1]
 	}
-	replayed := make(map[cellKey]metrics.Result)
 	sawPrior := false
+	checkCell := func(i, xi, vi int, seed int64, x float64, variant string) error {
+		if xi < 0 || xi >= len(def.Xs) || vi < 0 || vi >= len(def.Variants) || seed < 1 {
+			return fmt.Errorf("experiment %s: checkpoint %s line %d: run (%d,%d,%d) out of range",
+				def.ID, path, i+1, xi, vi, seed)
+		}
+		if x != def.Xs[xi] || variant != def.Variants[vi].Name {
+			return fmt.Errorf("experiment %s: checkpoint %s line %d: run does not match the sweep (x=%v variant=%q)",
+				def.ID, path, i+1, x, variant)
+		}
+		return nil
+	}
 	for i, line := range lines {
 		if len(bytes.TrimSpace(line)) == 0 {
 			continue
@@ -135,7 +202,7 @@ func loadCheckpoint(path string, def Definition, want checkpointHeader) (map[cel
 				// so dropping it is safe.
 				continue
 			}
-			return nil, false, fmt.Errorf("experiment %s: checkpoint %s line %d: %w", def.ID, path, i+1, err)
+			return rep, false, fmt.Errorf("experiment %s: checkpoint %s line %d: %w", def.ID, path, i+1, err)
 		}
 		if kind.Def != def.ID {
 			continue
@@ -145,10 +212,10 @@ func loadCheckpoint(path string, def Definition, want checkpointHeader) (map[cel
 		case "header":
 			var h checkpointHeader
 			if err := json.Unmarshal(line, &h); err != nil {
-				return nil, false, fmt.Errorf("experiment %s: checkpoint %s line %d: %w", def.ID, path, i+1, err)
+				return rep, false, fmt.Errorf("experiment %s: checkpoint %s line %d: %w", def.ID, path, i+1, err)
 			}
 			if !h.equal(want) {
-				return nil, false, fmt.Errorf("experiment %s: checkpoint %s was written with different options (line %d); rerun with the original flags or remove it",
+				return rep, false, fmt.Errorf("experiment %s: checkpoint %s was written with different options (line %d); rerun with the original flags or remove it",
 					def.ID, path, i+1)
 			}
 		case "run":
@@ -157,23 +224,37 @@ func loadCheckpoint(path string, def Definition, want checkpointHeader) (map[cel
 				if i == len(lines)-1 {
 					continue
 				}
-				return nil, false, fmt.Errorf("experiment %s: checkpoint %s line %d: %w", def.ID, path, i+1, err)
+				return rep, false, fmt.Errorf("experiment %s: checkpoint %s line %d: %w", def.ID, path, i+1, err)
 			}
-			if rec.Xi < 0 || rec.Xi >= len(def.Xs) || rec.Vi < 0 || rec.Vi >= len(def.Variants) || rec.Seed < 1 {
-				return nil, false, fmt.Errorf("experiment %s: checkpoint %s line %d: run (%d,%d,%d) out of range",
-					def.ID, path, i+1, rec.Xi, rec.Vi, rec.Seed)
+			if err := checkCell(i, rec.Xi, rec.Vi, rec.Seed, rec.X, rec.Variant); err != nil {
+				return rep, false, err
 			}
-			if rec.X != def.Xs[rec.Xi] || rec.Variant != def.Variants[rec.Vi].Name {
-				return nil, false, fmt.Errorf("experiment %s: checkpoint %s line %d: run does not match the sweep (x=%v variant=%q)",
-					def.ID, path, i+1, rec.X, rec.Variant)
+			key := cellKey{xi: rec.Xi, vi: rec.Vi, seed: int(rec.Seed)}
+			rep.runs[key] = rec.Result
+			delete(rep.failures, key)
+		case "failed":
+			var rec checkpointFailure
+			if err := json.Unmarshal(line, &rec); err != nil {
+				if i == len(lines)-1 {
+					continue
+				}
+				return rep, false, fmt.Errorf("experiment %s: checkpoint %s line %d: %w", def.ID, path, i+1, err)
 			}
-			replayed[cellKey{xi: rec.Xi, vi: rec.Vi, seed: int(rec.Seed)}] = rec.Result
+			if err := checkCell(i, rec.Xi, rec.Vi, rec.Seed, rec.X, rec.Variant); err != nil {
+				return rep, false, err
+			}
+			key := cellKey{xi: rec.Xi, vi: rec.Vi, seed: int(rec.Seed)}
+			rep.failures[key] = RunFailure{
+				Xi: rec.Xi, X: rec.X, Vi: rec.Vi, Variant: rec.Variant,
+				Seed: rec.Seed, Attempts: rec.Attempts, Message: rec.Error,
+			}
+			delete(rep.runs, key)
 		default:
-			return nil, false, fmt.Errorf("experiment %s: checkpoint %s line %d: unknown record kind %q",
+			return rep, false, fmt.Errorf("experiment %s: checkpoint %s line %d: unknown record kind %q",
 				def.ID, path, i+1, kind.Kind)
 		}
 	}
-	return replayed, sawPrior, nil
+	return rep, sawPrior, nil
 }
 
 // checkpointWriter appends records to the checkpoint, flushing after every
@@ -209,6 +290,21 @@ func (c *checkpointWriter) record(def Definition, o outcome) error {
 		Variant: def.Variants[o.vi].Name,
 		Seed:    o.seed,
 		Result:  o.res,
+	})
+}
+
+// recordFailure appends one finally-failed run.
+func (c *checkpointWriter) recordFailure(def Definition, f RunFailure) error {
+	return c.append(checkpointFailure{
+		Kind:     "failed",
+		Def:      def.ID,
+		Xi:       f.Xi,
+		X:        f.X,
+		Vi:       f.Vi,
+		Variant:  f.Variant,
+		Seed:     f.Seed,
+		Attempts: f.Attempts,
+		Error:    f.Message,
 	})
 }
 

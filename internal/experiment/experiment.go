@@ -20,15 +20,25 @@
 // bit-identically to an uninterrupted one. Cancellation via the context
 // drains the worker pool without goroutine leaks and checkpoints every
 // in-flight run before returning.
+//
+// Runs also survive their own failures: a panicking run (or one whose
+// engine fails, e.g. an oracle violation under Options.Oracle) is retried
+// up to Options.MaxRetries times and then recorded as a failed seed — in
+// the checkpoint and in Result.Failures — instead of aborting the whole
+// sweep. Only deterministic errors (an invalid configuration, an Inspect
+// rejection) remain fatal: retrying them cannot help, and Inspect is how
+// invariant tests report violations.
 package experiment
 
 import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/plot"
 	"repro/internal/report"
@@ -73,6 +83,22 @@ type Result struct {
 	// precision target (always true for fixed-seed runs; false for cells
 	// stopped by the MaxSeeds cap).
 	Converged [][]bool
+	// Failures lists every seed run that exhausted its retries (ordered
+	// by point, variant, seed). A failed seed is excluded from its cell's
+	// aggregate; the sweep as a whole still succeeds.
+	Failures []RunFailure
+}
+
+// RunFailure describes one seed run that failed even after retries.
+type RunFailure struct {
+	Xi      int
+	X       float64
+	Vi      int
+	Variant string
+	Seed    int64
+	// Attempts is the total number of executions spent (1 + retries).
+	Attempts int
+	Message  string
 }
 
 // Options tune a run without changing what it measures.
@@ -102,6 +128,26 @@ type Options struct {
 	// Metric picks the accumulator whose confidence interval drives
 	// adaptive convergence (nil = miss percent).
 	Metric func(*metrics.Aggregate) *stats.Accumulator
+
+	// MaxRetries is how many extra attempts a failed run (a panic, or an
+	// engine error such as an oracle or watchdog violation) gets before
+	// its seed is recorded as failed and the sweep moves on without it
+	// (0 = fail on the first attempt). Deterministic errors — an invalid
+	// configuration, an Inspect rejection — are never retried: they are
+	// fatal, because retrying cannot change them and Inspect is how
+	// invariant tests report violations.
+	MaxRetries int
+	// Oracle attaches the runtime safety oracle (core.EnableOracle) to
+	// every engine before it runs; a detected violation fails the run
+	// (and is retried/recorded like any other run failure).
+	Oracle bool
+	// Fault, when non-zero, overrides every run's fault-injection plan
+	// (core.Config.Fault). Variants that set their own plan keep it when
+	// this is zero.
+	Fault fault.Plan
+	// Admission, when its Mode is set, overrides every run's admission
+	// controller (core.Config.Admission).
+	Admission core.AdmissionConfig
 
 	// CheckpointPath, when set, streams one JSONL record per completed
 	// run to this file so an interrupted sweep can resume. A fresh run
@@ -136,15 +182,21 @@ func (o *Options) metric() func(*metrics.Aggregate) *stats.Accumulator {
 	return func(a *metrics.Aggregate) *stats.Accumulator { return &a.MissPercent }
 }
 
-// job identifies one seed run of one cell.
+// job identifies one seed run of one cell. attempt counts prior failed
+// executions of the same run (0 on the first try).
 type job struct {
-	xi, vi int
-	seed   int64
+	xi, vi  int
+	seed    int64
+	attempt int
 }
 
 type outcome struct {
 	job
 	res metrics.Result
+	// failure is the retryable failure message ("" on success): a panic
+	// or an engine/oracle/watchdog error.
+	failure string
+	// err is a fatal error that aborts the sweep (config or Inspect).
 	err error
 }
 
@@ -153,6 +205,9 @@ type cellState struct {
 	// res holds completed results by seed (1-based); it may hold seeds
 	// beyond goal when a checkpoint replays a longer previous schedule.
 	res map[int]metrics.Result
+	// failed holds seeds whose run failed even after retries; a failed
+	// seed counts as finished for scheduling but is excluded from fold.
+	failed map[int]RunFailure
 	// goal is the number of seeds currently requested for the cell.
 	goal int
 	// final marks the cell finished (converged or capped).
@@ -161,10 +216,14 @@ type cellState struct {
 	converged bool
 }
 
-// completeUpTo reports whether seeds 1..n are all present.
+// completeUpTo reports whether seeds 1..n are all finished (completed or
+// recorded as failed).
 func (c *cellState) completeUpTo(n int) bool {
 	for s := 1; s <= n; s++ {
-		if _, ok := c.res[s]; !ok {
+		if _, ok := c.res[s]; ok {
+			continue
+		}
+		if _, ok := c.failed[s]; !ok {
 			return false
 		}
 	}
@@ -172,13 +231,26 @@ func (c *cellState) completeUpTo(n int) bool {
 }
 
 // fold aggregates seeds 1..n in seed order (the canonical fold order that
-// makes every execution bit-identical).
+// makes every execution bit-identical). Failed seeds are skipped: their
+// runs produced no result.
 func (c *cellState) fold(n int) *metrics.Aggregate {
 	agg := &metrics.Aggregate{}
 	for s := 1; s <= n; s++ {
-		agg.Add(c.res[s])
+		if res, ok := c.res[s]; ok {
+			agg.Add(res)
+		}
 	}
 	return agg
+}
+
+// finishedSeed reports whether the seed already has a recorded outcome
+// (a completed result or a final failure).
+func (c *cellState) finishedSeed(s int) bool {
+	if _, ok := c.res[s]; ok {
+		return true
+	}
+	_, ok := c.failed[s]
+	return ok
 }
 
 // converged reports whether the accumulator meets the relative CI target.
@@ -226,7 +298,7 @@ func Run(ctx context.Context, def Definition, opt Options) (*Result, error) {
 	}
 	cells := make([]cellState, nx*nv)
 	for i := range cells {
-		cells[i] = cellState{res: make(map[int]metrics.Result), goal: seeds}
+		cells[i] = cellState{res: make(map[int]metrics.Result), failed: make(map[int]RunFailure), goal: seeds}
 	}
 
 	// Checkpoint: replay previous progress, then open for appending.
@@ -241,8 +313,11 @@ func Run(ctx context.Context, def Definition, opt Options) (*Result, error) {
 			return nil, fmt.Errorf("experiment %s: checkpoint %s already holds this experiment's runs (resume or remove it)",
 				def.ID, opt.CheckpointPath)
 		}
-		for key, res := range replayed {
+		for key, res := range replayed.runs {
 			cells[key.xi*nv+key.vi].res[key.seed] = res
+		}
+		for key, f := range replayed.failures {
+			cells[key.xi*nv+key.vi].failed[key.seed] = f
 		}
 		ckpt, err = openCheckpoint(opt.CheckpointPath, head)
 		if err != nil {
@@ -298,7 +373,7 @@ func Run(ctx context.Context, def Definition, opt Options) (*Result, error) {
 			}
 			for s := c.goal + 1; s <= next; s++ {
 				total++
-				if _, ok := c.res[s]; ok {
+				if c.finishedSeed(s) {
 					done++
 				} else {
 					pending = append(pending, job{xi: idx / nv, vi: idx % nv, seed: int64(s)})
@@ -311,7 +386,7 @@ func Run(ctx context.Context, def Definition, opt Options) (*Result, error) {
 		c := &cells[idx]
 		for s := 1; s <= c.goal; s++ {
 			total++
-			if _, ok := c.res[s]; ok {
+			if c.finishedSeed(s) {
 				done++
 			} else {
 				pending = append(pending, job{xi: idx / nv, vi: idx % nv, seed: int64(s)})
@@ -335,8 +410,8 @@ func Run(ctx context.Context, def Definition, opt Options) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for j := range jobCh {
-				res, err := runOne(&def, &opt, j)
-				outCh <- outcome{job: j, res: res, err: err}
+				res, failure, err := runOne(&def, &opt, j)
+				outCh <- outcome{job: j, res: res, failure: failure, err: err}
 			}
 		}()
 	}
@@ -348,6 +423,33 @@ func Run(ctx context.Context, def Definition, opt Options) (*Result, error) {
 			return
 		}
 		idx := o.xi*nv + o.vi
+		if o.failure != "" {
+			if o.attempt < opt.MaxRetries {
+				// Retry the same seed; a deterministic engine will fail
+				// again, but transient causes (a panicking Instrument
+				// hook, an environmental hiccup) get their chance. On
+				// cancellation or a fatal error the retry is simply
+				// never dispatched.
+				retry := o.job
+				retry.attempt++
+				pending = append(pending, retry)
+				return
+			}
+			f := RunFailure{
+				Xi: o.xi, X: def.Xs[o.xi], Vi: o.vi, Variant: def.Variants[o.vi].Name,
+				Seed: o.seed, Attempts: o.attempt + 1, Message: o.failure,
+			}
+			cells[idx].failed[int(o.seed)] = f
+			if ckpt != nil {
+				if err := ckpt.recordFailure(def, f); err != nil {
+					fail(err)
+				}
+			}
+			done++
+			progress()
+			advance(idx)
+			return
+		}
 		cells[idx].res[int(o.seed)] = o.res
 		if ckpt != nil {
 			if err := ckpt.record(def, o); err != nil {
@@ -406,34 +508,72 @@ func Run(ctx context.Context, def Definition, opt Options) (*Result, error) {
 			c := &cells[xi*nv+vi]
 			r.Agg[xi][vi] = c.fold(c.goal)
 			r.Converged[xi][vi] = c.converged
+			// Failures in canonical (point, variant, seed) order so the
+			// report is deterministic regardless of worker timing.
+			if len(c.failed) > 0 {
+				seeds := make([]int, 0, len(c.failed))
+				for s := range c.failed {
+					seeds = append(seeds, s)
+				}
+				sort.Ints(seeds)
+				for _, s := range seeds {
+					r.Failures = append(r.Failures, c.failed[s])
+				}
+			}
 		}
 	}
 	return r, nil
 }
 
-// runOne executes a single seed run on a worker goroutine.
-func runOne(def *Definition, opt *Options, j job) (metrics.Result, error) {
+// runOne executes a single seed run on a worker goroutine. It returns
+// either a result, a retryable failure message (a panic anywhere between
+// engine construction and run completion, or an engine error such as an
+// oracle or watchdog violation), or a fatal error (an invalid
+// configuration, an Inspect rejection) that aborts the sweep.
+func runOne(def *Definition, opt *Options, j job) (metrics.Result, string, error) {
 	cfg := def.Variants[j.vi].Configure(def.Xs[j.xi], j.seed)
 	if opt.Count > 0 {
 		cfg.Workload.Count = opt.Count
 	}
+	if !opt.Fault.Zero() {
+		cfg.Fault = opt.Fault
+	}
+	if opt.Admission.Mode != core.AdmitAll {
+		cfg.Admission = opt.Admission
+	}
 	e, err := core.New(cfg)
 	if err != nil {
-		return metrics.Result{}, err
+		return metrics.Result{}, "", err
 	}
-	if opt.Instrument != nil {
-		opt.Instrument(j.xi, j.vi, j.seed, e)
+	if opt.Oracle {
+		e.EnableOracle()
 	}
-	res, err := e.Run()
-	if err != nil {
-		return metrics.Result{}, err
+	var res metrics.Result
+	var runErr error
+	// One bad seed must not take down a multi-hour sweep: recover panics
+	// from the instrumentation hook and the engine itself and fold them
+	// into the retry/failure path. The message excludes the stack so
+	// reruns of a deterministic panic produce identical failure records.
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				runErr = fmt.Errorf("panic: %v", p)
+			}
+		}()
+		if opt.Instrument != nil {
+			opt.Instrument(j.xi, j.vi, j.seed, e)
+		}
+		res, runErr = e.Run()
+	}()
+	if runErr != nil {
+		return metrics.Result{}, runErr.Error(), nil
 	}
 	if opt.Inspect != nil {
 		if err := opt.Inspect(j.xi, j.vi, j.seed, e, res); err != nil {
-			return metrics.Result{}, err
+			return metrics.Result{}, "", err
 		}
 	}
-	return res, nil
+	return res, "", nil
 }
 
 // Summary returns the across-seed mean result at a sweep point/variant.

@@ -182,6 +182,7 @@ func classTable(title, xLabel string) func(*Definition, *Result) *report.Table {
 func missAcc(a *metrics.Aggregate) *stats.Accumulator     { return &a.MissPercent }
 func latenessAcc(a *metrics.Aggregate) *stats.Accumulator { return &a.MeanLatenessMs }
 func restartsAcc(a *metrics.Aggregate) *stats.Accumulator { return &a.RestartsPerTxn }
+func rejectedAcc(a *metrics.Aggregate) *stats.Accumulator { return &a.Rejected }
 
 func trimFloat(x float64) string {
 	if x == float64(int(x)) {
@@ -463,6 +464,34 @@ func All() []Definition {
 			Figures: []Figure{
 				curveFigure("ab-firm-miss", "Ablation — miss percent (dropped+late) under firm deadlines",
 					"Ablation — miss percent under firm deadlines (main memory)", "rate", "miss%", missAcc),
+			},
+		},
+		{
+			ID:     "ablation-overload",
+			Title:  "Ablation: overload control past saturation (admission robustness extension)",
+			XLabel: "arrival rate (tr/s)",
+			Xs:     seq(10, 30, 5),
+			Seeds:  10,
+			// The main-memory base workload saturates one CPU around
+			// 12.5 tr/s; past that, admitting everything lets the live
+			// set grow without bound and every policy's miss percent
+			// races to 100. Shedding infeasible arrivals trades a few
+			// certain rejections for a backlog the CPU can still serve.
+			Variants: []Variant{
+				{Name: "EDF-HP", Configure: mmVariant(core.EDFHP, setRate)},
+				{Name: "CCA", Configure: mmVariant(core.CCA, setRate)},
+				{Name: "CCA+reject", Configure: mmVariant(core.CCA, func(c *core.Config, x float64) {
+					setRate(c, x)
+					c.Admission = core.AdmissionConfig{Mode: core.RejectInfeasible}
+				})},
+			},
+			Figures: []Figure{
+				curveFigure("ab-over-miss", "Ablation — miss percent past saturation, with and without admission control",
+					"Ablation — overload: miss percent (rejected counts as missed)", "rate", "miss%", missAcc),
+				{ID: "ab-over-rej", Title: "Ablation — rejected transactions per run under admission control",
+					Render: curveTable("Ablation — overload: rejections per run", "rate", "rejected", rejectedAcc)},
+				curveFigure("ab-over-late", "Ablation — mean lateness of served transactions past saturation",
+					"Ablation — overload: mean lateness of commits (ms)", "rate", "lateness", latenessAcc),
 			},
 		},
 		{

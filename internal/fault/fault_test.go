@@ -1,0 +1,207 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const ms = time.Millisecond
+
+func TestZeroPlan(t *testing.T) {
+	if !(Plan{}).Zero() {
+		t.Fatal("zero value not Zero")
+	}
+	nonZero := []Plan{
+		{DiskSlowProb: 0.1},
+		{DiskErrorProb: 0.1},
+		{Brownouts: []Window{{Start: 0, End: ms}}},
+		{CPUJitterProb: 0.1},
+		{AbortProb: 0.1},
+		{Bursts: []Burst{{Window: Window{Start: 0, End: ms}, RateFactor: 2}}},
+	}
+	for i, p := range nonZero {
+		if p.Zero() {
+			t.Errorf("plan %d reported Zero", i)
+		}
+	}
+	// Parameters without an enabling probability still count as zero:
+	// nothing is ever drawn.
+	if !(Plan{DiskSlowFactor: 4, RetryLimit: 5, RetryBackoff: ms, BrownoutFactor: 2, CPUJitterFactor: 3}).Zero() {
+		t.Fatal("parameter-only plan should be Zero")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Plan{
+		{DiskSlowProb: -0.1},
+		{DiskSlowProb: 1.1},
+		{DiskErrorProb: 2},
+		{CPUJitterProb: -1},
+		{AbortProb: 7},
+		{DiskSlowProb: 0.1, DiskSlowFactor: 0.5},
+		{Brownouts: []Window{{Start: 0, End: ms}}, BrownoutFactor: 0.9},
+		{CPUJitterProb: 0.1, CPUJitterFactor: 0.5},
+		{DiskErrorProb: 0.1, RetryLimit: -1},
+		{DiskErrorProb: 0.1, RetryBackoff: -ms},
+		{Brownouts: []Window{{Start: -ms, End: ms}}},
+		{Brownouts: []Window{{Start: ms, End: ms}}},
+		{Bursts: []Burst{{Window: Window{Start: 2 * ms, End: ms}, RateFactor: 2}}},
+		{Bursts: []Burst{{Window: Window{Start: 0, End: ms}, RateFactor: 0}}},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("plan %d passed validation: %+v", i, p)
+		}
+	}
+	good := Plan{
+		DiskSlowProb: 0.5, DiskSlowFactor: 4,
+		DiskErrorProb: 0.2, RetryLimit: 2, RetryBackoff: ms,
+		Brownouts: []Window{{Start: 0, End: 100 * ms}}, BrownoutFactor: 8,
+		CPUJitterProb: 0.3, CPUJitterFactor: 2,
+		AbortProb: 0.01,
+		Bursts:    []Burst{{Window: Window{Start: 0, End: time.Second}, RateFactor: 3}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan([]byte(`{"disk_error_prob":0.25,"retry_limit":2,"retry_backoff_ns":1000000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DiskErrorProb != 0.25 || p.RetryLimit != 2 || p.RetryBackoff != ms {
+		t.Fatalf("parsed plan wrong: %+v", p)
+	}
+	if _, err := ParsePlan([]byte(`{"disk_eror_prob":0.25}`)); err == nil ||
+		!strings.Contains(err.Error(), "unknown field") {
+		t.Fatalf("typo field not rejected: %v", err)
+	}
+	if _, err := ParsePlan([]byte(`{"abort_prob":2}`)); err == nil {
+		t.Fatal("invalid plan not rejected by ParsePlan")
+	}
+}
+
+func TestWindowHalfOpen(t *testing.T) {
+	w := Window{Start: 10 * ms, End: 20 * ms}
+	if w.Contains(9 * ms) {
+		t.Fatal("before start contained")
+	}
+	if !w.Contains(10 * ms) {
+		t.Fatal("start not contained")
+	}
+	if !w.Contains(19 * ms) {
+		t.Fatal("interior not contained")
+	}
+	if w.Contains(20 * ms) {
+		t.Fatal("end contained (window must be half-open)")
+	}
+}
+
+// TestInjectorDeterminism: same seed and plan means the same draw sequence.
+func TestInjectorDeterminism(t *testing.T) {
+	plan := Plan{
+		DiskSlowProb: 0.3, DiskErrorProb: 0.2, CPUJitterProb: 0.4, AbortProb: 0.1,
+		Brownouts: []Window{{Start: 5 * ms, End: 15 * ms}},
+	}
+	type draws struct {
+		svc   []time.Duration
+		errs  []bool
+		cmp   []time.Duration
+		abort []bool
+	}
+	sample := func(seed int64) draws {
+		in := NewInjector(seed, plan)
+		var d draws
+		for i := 0; i < 200; i++ {
+			now := time.Duration(i) * ms / 10
+			d.svc = append(d.svc, in.ServiceTime(now, 25*ms))
+			d.errs = append(d.errs, in.TransientError())
+			d.cmp = append(d.cmp, in.ComputeTime(10*ms))
+			d.abort = append(d.abort, in.SpuriousAbort())
+		}
+		return d
+	}
+	a, b := sample(42), sample(42)
+	for i := range a.svc {
+		if a.svc[i] != b.svc[i] || a.errs[i] != b.errs[i] || a.cmp[i] != b.cmp[i] || a.abort[i] != b.abort[i] {
+			t.Fatalf("draw %d differs across identical (seed, plan)", i)
+		}
+	}
+	c := sample(43)
+	same := true
+	for i := range a.svc {
+		if a.svc[i] != c.svc[i] || a.errs[i] != c.errs[i] || a.cmp[i] != c.cmp[i] || a.abort[i] != c.abort[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical draw sequences")
+	}
+}
+
+// TestZeroProbabilitiesNeverDraw: prob-gated hooks of a zero plan must not
+// consume a single variate, so streams stay aligned whatever faults are off.
+func TestZeroProbabilitiesNeverDraw(t *testing.T) {
+	in := NewInjector(7, Plan{})
+	for i := 0; i < 50; i++ {
+		if got := in.ServiceTime(time.Duration(i)*ms, 25*ms); got != 25*ms {
+			t.Fatalf("zero plan changed service time: %v", got)
+		}
+		if in.TransientError() {
+			t.Fatal("zero plan produced a transient error")
+		}
+		if got := in.ComputeTime(10 * ms); got != 10*ms {
+			t.Fatalf("zero plan changed compute time: %v", got)
+		}
+		if in.SpuriousAbort() {
+			t.Fatal("zero plan produced a spurious abort")
+		}
+	}
+}
+
+func TestServiceTimeFaults(t *testing.T) {
+	// Certain latency spike: every access quadruples (default factor).
+	in := NewInjector(1, Plan{DiskSlowProb: 1})
+	if got := in.ServiceTime(0, 25*ms); got != 100*ms {
+		t.Fatalf("slow access = %v, want 100ms", got)
+	}
+	// Brownout outside the spike: only accesses starting inside the
+	// window are inflated.
+	in = NewInjector(1, Plan{Brownouts: []Window{{Start: 10 * ms, End: 20 * ms}}, BrownoutFactor: 2})
+	if got := in.ServiceTime(5*ms, 25*ms); got != 25*ms {
+		t.Fatalf("outside brownout = %v, want 25ms", got)
+	}
+	if got := in.ServiceTime(10*ms, 25*ms); got != 50*ms {
+		t.Fatalf("inside brownout = %v, want 50ms", got)
+	}
+	// Spike and brownout compose multiplicatively.
+	in = NewInjector(1, Plan{DiskSlowProb: 1, DiskSlowFactor: 2, Brownouts: []Window{{Start: 0, End: ms}}, BrownoutFactor: 3})
+	if got := in.ServiceTime(0, 10*ms); got != 60*ms {
+		t.Fatalf("composed inflation = %v, want 60ms", got)
+	}
+}
+
+func TestRetryPolicyDefaults(t *testing.T) {
+	limit, backoff := NewInjector(1, Plan{DiskErrorProb: 0.5}).RetryPolicy()
+	if limit != 3 || backoff != ms {
+		t.Fatalf("defaults = (%d, %v), want (3, 1ms)", limit, backoff)
+	}
+	limit, backoff = NewInjector(1, Plan{DiskErrorProb: 0.5, RetryLimit: 7, RetryBackoff: 4 * ms}).RetryPolicy()
+	if limit != 7 || backoff != 4*ms {
+		t.Fatalf("explicit = (%d, %v), want (7, 4ms)", limit, backoff)
+	}
+}
+
+func TestComputeTimeJitterBounds(t *testing.T) {
+	in := NewInjector(3, Plan{CPUJitterProb: 1, CPUJitterFactor: 2})
+	for i := 0; i < 100; i++ {
+		got := in.ComputeTime(10 * ms)
+		if got < 10*ms || got > 20*ms {
+			t.Fatalf("jittered compute %v outside [10ms, 20ms]", got)
+		}
+	}
+}

@@ -27,6 +27,20 @@ type Run struct {
 	// Dropped is the number of transactions discarded at their deadline
 	// (firm-deadline mode; always 0 in the paper's soft model).
 	Dropped int
+	// Admitted is the number of arrivals that passed a configured
+	// admission controller (0 when no controller is configured, keeping
+	// unfaulted runs' encodings byte-identical to older ones).
+	Admitted int
+	// Rejected is the number of arrivals turned away by the admission
+	// controller. A rejected transaction counts as a miss.
+	Rejected int
+	// RetriedIO is the number of transient disk-error retries served
+	// (fault injection only).
+	RetriedIO int
+	// FaultAborts is the number of aborts forced by the fault plan
+	// (spurious aborts plus permanently failed disk accesses); each is
+	// also counted in Restarts.
+	FaultAborts int
 	// TardinessSum is the summed positive lateness of all transactions.
 	TardinessSum time.Duration
 	// LatenessSum is the summed signed lateness (finish − deadline).
@@ -134,14 +148,19 @@ func (r *Run) Result() Result {
 	res := Result{
 		Committed:             r.Committed,
 		Dropped:               r.Dropped,
+		Admitted:              r.Admitted,
+		Rejected:              r.Rejected,
+		RetriedIO:             r.RetriedIO,
+		FaultAborts:           r.FaultAborts,
 		Restarts:              r.Restarts,
 		LockWaits:             r.LockWaits,
 		Deadlocks:             r.Deadlocks,
 		NoncontributingAborts: r.NoncontributingAborts,
 		Elapsed:               r.Elapsed,
 	}
-	if r.Committed+r.Dropped > 0 {
-		res.MissPercent = 100 * float64(r.Missed+r.Dropped) / float64(r.Committed+r.Dropped)
+	if r.Committed+r.Dropped+r.Rejected > 0 {
+		// A rejected transaction never ran, so it missed its deadline.
+		res.MissPercent = 100 * float64(r.Missed+r.Dropped+r.Rejected) / float64(r.Committed+r.Dropped+r.Rejected)
 	}
 	if r.Committed > 0 {
 		res.MeanLatenessMs = float64(r.TardinessSum) / float64(r.Committed) / float64(time.Millisecond)
@@ -197,6 +216,10 @@ func (r *Run) Result() Result {
 type Result struct {
 	Committed             int           `json:"committed"`
 	Dropped               int           `json:"dropped"`
+	Admitted              int           `json:"admitted,omitempty"`
+	Rejected              int           `json:"rejected,omitempty"`
+	RetriedIO             int           `json:"retried_io,omitempty"`
+	FaultAborts           int           `json:"fault_aborts,omitempty"`
 	MissPercent           float64       `json:"miss_percent"`
 	MeanLatenessMs        float64       `json:"mean_lateness_ms"` // mean tardiness, ms
 	MeanSignedLatenessMs  float64       `json:"mean_signed_lateness_ms"`
@@ -240,6 +263,10 @@ func (r Result) String() string {
 type Aggregate struct {
 	Committed       stats.Accumulator
 	Dropped         stats.Accumulator
+	Admitted        stats.Accumulator
+	Rejected        stats.Accumulator
+	RetriedIO       stats.Accumulator
+	FaultAborts     stats.Accumulator
 	Restarts        stats.Accumulator
 	MissPercent     stats.Accumulator
 	MeanLatenessMs  stats.Accumulator
@@ -266,6 +293,10 @@ type Aggregate struct {
 func (a *Aggregate) Add(r Result) {
 	a.Committed.Add(float64(r.Committed))
 	a.Dropped.Add(float64(r.Dropped))
+	a.Admitted.Add(float64(r.Admitted))
+	a.Rejected.Add(float64(r.Rejected))
+	a.RetriedIO.Add(float64(r.RetriedIO))
+	a.FaultAborts.Add(float64(r.FaultAborts))
 	a.Restarts.Add(float64(r.Restarts))
 	a.MissPercent.Add(r.MissPercent)
 	a.MeanLatenessMs.Add(r.MeanLatenessMs)
@@ -305,6 +336,10 @@ func (a *Aggregate) Summary() Result {
 	return Result{
 		Committed:             int(a.Committed.Mean() + 0.5),
 		Dropped:               int(a.Dropped.Mean() + 0.5),
+		Admitted:              int(a.Admitted.Mean() + 0.5),
+		Rejected:              int(a.Rejected.Mean() + 0.5),
+		RetriedIO:             int(a.RetriedIO.Mean() + 0.5),
+		FaultAborts:           int(a.FaultAborts.Mean() + 0.5),
 		Restarts:              int(a.Restarts.Mean() + 0.5),
 		MissPercent:           a.MissPercent.Mean(),
 		MeanLatenessMs:        a.MeanLatenessMs.Mean(),

@@ -29,11 +29,13 @@ const (
 	Rollback
 	Deadlock
 	Commit
+	// Reject marks an arrival turned away by the admission controller.
+	Reject
 )
 
 var kindNames = [...]string{
 	"arrival", "dispatch", "preempt", "wound", "block", "wake",
-	"io-start", "io-done", "rollback", "deadlock", "commit",
+	"io-start", "io-done", "rollback", "deadlock", "commit", "reject",
 }
 
 // String names the kind.

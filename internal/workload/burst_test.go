@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// TestGenerateFaultedNilBurstsIdentical: without bursts, GenerateFaulted
+// must be bit-identical to Generate — the burst hook draws nothing extra.
+func TestGenerateFaultedNilBurstsIdentical(t *testing.T) {
+	p := BaseMainMemory()
+	p.Count = 200
+	plain, err := Generate(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, err := GenerateFaulted(p, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, faulted) {
+		t.Fatal("GenerateFaulted(nil bursts) differs from Generate")
+	}
+	empty, err := GenerateFaulted(p, 7, []fault.Burst{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, empty) {
+		t.Fatal("GenerateFaulted(empty bursts) differs from Generate")
+	}
+}
+
+// TestBurstCompressesArrivals: arrivals inside a burst window pack tighter,
+// while draws outside stay untouched (the burst only scales the drawn IAT,
+// so the generator's stream alignment is preserved).
+func TestBurstCompressesArrivals(t *testing.T) {
+	p := BaseMainMemory()
+	p.Count = 500
+	p.ArrivalRate = 10
+	window := fault.Window{Start: 0, End: 5 * time.Second}
+	burst, err := GenerateFaulted(p, 3, []fault.Burst{{Window: window, RateFactor: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Generate(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(wl *Workload) int {
+		n := 0
+		for _, s := range wl.Txns {
+			if window.Contains(s.Arrival) {
+				n++
+			}
+		}
+		return n
+	}
+	nb, np := count(burst), count(plain)
+	if nb <= np {
+		t.Fatalf("burst window holds %d arrivals, plain %d — burst did not compress", nb, np)
+	}
+	// Everything but the arrival instants is drawn from independent
+	// streams and must be unchanged.
+	for i := range plain.Txns {
+		if burst.Txns[i].Deadline-burst.Txns[i].Arrival != plain.Txns[i].Deadline-plain.Txns[i].Arrival {
+			t.Fatalf("spec %d relative deadline changed under burst", i)
+		}
+		if !reflect.DeepEqual(burst.Txns[i].Items, plain.Txns[i].Items) {
+			t.Fatalf("spec %d item list changed under burst", i)
+		}
+	}
+}
+
+// TestBurstValidation: invalid burst windows are rejected up front.
+func TestBurstValidation(t *testing.T) {
+	p := BaseMainMemory()
+	p.Count = 10
+	bad := [][]fault.Burst{
+		{{Window: fault.Window{Start: -time.Second, End: time.Second}, RateFactor: 2}},
+		{{Window: fault.Window{Start: time.Second, End: time.Second}, RateFactor: 2}},
+		{{Window: fault.Window{Start: 0, End: time.Second}, RateFactor: 0}},
+	}
+	for i, b := range bad {
+		if _, err := GenerateFaulted(p, 1, b); err == nil {
+			t.Errorf("burst set %d accepted: %+v", i, b)
+		}
+	}
+}
+
+// TestBurstDeterminism: the same (seed, bursts) pair regenerates the same
+// workload.
+func TestBurstDeterminism(t *testing.T) {
+	p := BaseMainMemory()
+	p.Count = 100
+	bursts := []fault.Burst{{Window: fault.Window{Start: time.Second, End: 3 * time.Second}, RateFactor: 3}}
+	a, err := GenerateFaulted(p, 11, bursts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateFaulted(p, 11, bursts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical (seed, bursts) produced different workloads")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/stats"
 	"repro/internal/txn"
 )
@@ -258,8 +259,23 @@ type Workload struct {
 // for each aspect so that, e.g., enabling disk accesses does not perturb
 // arrival times.
 func Generate(p Params, seed int64) (*Workload, error) {
+	return GenerateFaulted(p, seed, nil)
+}
+
+// GenerateFaulted is Generate with arrival-burst injection: while the
+// running arrival clock is inside a burst window, the mean inter-arrival
+// time is divided by the burst's rate factor, compressing arrivals into a
+// storm. Every random draw of Generate happens identically and in the same
+// order — one scaled multiplication aside — so a nil or empty burst list
+// yields a workload bit-identical to Generate's.
+func GenerateFaulted(p Params, seed int64, bursts []fault.Burst) (*Workload, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
+	}
+	for i, b := range bursts {
+		if b.Start < 0 || b.End <= b.Start || b.RateFactor <= 0 {
+			return nil, fmt.Errorf("workload: burst %d invalid", i)
+		}
 	}
 	src := stats.NewSource(seed)
 	typeSize := src.Stream("type-size")
@@ -318,7 +334,14 @@ func Generate(p Params, seed int64) (*Workload, error) {
 	meanIAT := 1.0 / p.ArrivalRate // seconds
 	var now time.Duration
 	for i := 0; i < p.Count; i++ {
-		now += time.Duration(arrivals.Exponential(meanIAT) * float64(time.Second))
+		iat := arrivals.Exponential(meanIAT)
+		for _, b := range bursts {
+			if b.Contains(now) {
+				iat /= b.RateFactor
+				break
+			}
+		}
+		now += time.Duration(iat * float64(time.Second))
 		ty := &w.Types[typePick.Intn(p.TxnTypes)]
 		s := Spec{
 			ID:      i,

@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/report"
 	"repro/internal/trace"
@@ -138,7 +139,47 @@ const (
 	TraceIODone   = trace.IODone
 	TraceDeadlock = trace.Deadlock
 	TraceCommit   = trace.Commit
+	TraceReject   = trace.Reject
 )
+
+// Robustness extensions: deterministic fault injection, overload control
+// and the runtime safety oracle.
+type (
+	// FaultPlan is a deterministic fault-injection plan (Config.Fault);
+	// the zero value injects nothing and leaves runs bit-identical.
+	FaultPlan = fault.Plan
+	// FaultWindow is a half-open simulated-time window of a plan.
+	FaultWindow = fault.Window
+	// FaultBurst is an arrival-burst window (rate multiplier).
+	FaultBurst = fault.Burst
+	// AdmissionConfig configures the engine's overload controller
+	// (Config.Admission).
+	AdmissionConfig = core.AdmissionConfig
+	// AdmissionMode selects the admission rejection rule.
+	AdmissionMode = core.AdmissionMode
+	// Oracle is the opt-in runtime safety monitor
+	// (Engine.EnableOracle); it fails a run at the first violation of
+	// the paper's correctness results.
+	Oracle = core.Oracle
+	// RunFailure describes one experiment seed run that failed even
+	// after retries (ExperimentResult.Failures).
+	RunFailure = experiment.RunFailure
+)
+
+// Admission modes.
+const (
+	// AdmitAll disables admission control (the default).
+	AdmitAll = core.AdmitAll
+	// RejectNewest sheds arrivals once MaxLive transactions are live.
+	RejectNewest = core.RejectNewest
+	// RejectInfeasible sheds arrivals whose deadline is already
+	// infeasible given the live backlog.
+	RejectInfeasible = core.RejectInfeasible
+)
+
+// ParseFaultPlan decodes and validates a JSON fault plan (durations are
+// nanoseconds; unknown fields are rejected).
+func ParseFaultPlan(data []byte) (FaultPlan, error) { return fault.ParsePlan(data) }
 
 // Pre-analysis classifications.
 const (
