@@ -1,0 +1,142 @@
+// Command rtserve runs the CCA engine as a wall-clock transaction service
+// behind an HTTP/JSON front-end.
+//
+// Clients POST transaction requests (access list, per-item compute, a
+// relative deadline) to /submit and get back commit/abort/missed-deadline
+// plus the engine-clock timings. The service degrades gracefully under
+// overload: the admission controller turns infeasible arrivals into fast
+// 503s with Retry-After, the inflight bound sheds excess concurrency
+// before it queues, departed clients have their transactions wounded, and
+// SIGTERM/SIGINT drain the service — new work is refused, in-flight
+// transactions finish or are wounded at the drain deadline, and the final
+// metrics snapshot is flushed to stderr.
+//
+// Usage examples:
+//
+//	rtserve -addr :8344
+//	rtserve -policy cca -admission reject-infeasible -oracle
+//	rtserve -disk -drain-timeout 10s -max-inflight 512
+//
+//	curl -s localhost:8344/submit -d '{"items":[3,17],"compute":"1ms","deadline":"50ms"}'
+//	curl -s localhost:8344/metrics
+//	curl -s localhost:8344/healthz
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, serves until a signal
+// or an engine failure, and returns the process exit code (0 clean drain,
+// 1 runtime/engine error, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rtserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8344", "listen address")
+		policy    = fs.String("policy", "cca", "scheduling policy: cca, edf-hp, edf-wp, lsf-hp, fcfs")
+		disk      = fs.Bool("disk", false, "disk-resident configuration (Table 2) instead of main memory (Table 1)")
+		dbsize    = fs.Int("dbsize", 0, "database size (0 = paper default)")
+		cpus      = fs.Int("cpus", 1, "number of CPUs")
+		weight    = fs.Float64("weight", 1, "CCA penalty-weight w")
+		seed      = fs.Int64("seed", 1, "engine seed (disk service times)")
+		admission = fs.String("admission", "reject-infeasible", "admission mode: reject-newest, reject-infeasible or admit-all (load shedding)")
+		admMax    = fs.Int("admission-max", 0, "live-set cap for the admission controller (required for reject-newest)")
+
+		maxInflight = fs.Int("max-inflight", 0, "bound on concurrently admitted HTTP submissions (0 = default 256); past it the server sheds")
+		drain       = fs.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget for in-flight transactions before they are wounded")
+		readTO      = fs.Duration("read-timeout", 15*time.Second, "HTTP read timeout (slow-client guard)")
+		writeTO     = fs.Duration("write-timeout", 15*time.Second, "HTTP write timeout (slow-client guard)")
+		speed       = fs.Float64("speed", 1, "simulated seconds per wall second (>1 compresses engine time; for demos and tests)")
+		oracle      = fs.Bool("oracle", false, "run under the live safety oracle: a violated paper invariant fails /healthz and stops the service")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var cfg core.Config
+	if *disk {
+		cfg = core.DiskConfig(core.PolicyKind(*policy), *seed)
+	} else {
+		cfg = core.MainMemoryConfig(core.PolicyKind(*policy), *seed)
+	}
+	cfg.PenaltyWeight = *weight
+	cfg.NumCPUs = *cpus
+	if *dbsize > 0 {
+		cfg.Workload.DBSize = *dbsize
+	}
+	mode := core.AdmissionMode(*admission)
+	if *admission == "admit-all" {
+		mode = core.AdmitAll
+	}
+	cfg.Admission = core.AdmissionConfig{Mode: mode, MaxLive: *admMax}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(stderr, "rtserve: %v\n", err)
+		return 2
+	}
+
+	srv, err := server.New(server.Options{
+		Core:         cfg,
+		Service:      core.ServiceOptions{Speed: *speed, Oracle: *oracle},
+		MaxInflight:  *maxInflight,
+		DrainTimeout: *drain,
+		ReadTimeout:  *readTO,
+		WriteTimeout: *writeTO,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "rtserve: %v\n", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "rtserve: %v\n", err)
+		return 1
+	}
+
+	// SIGINT/SIGTERM start the graceful drain; a second signal kills the
+	// process the usual way (the handler is reset once ctx fires).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(stderr, "rtserve: serving %s policy on %s (admission %s, drain %v)\n",
+		*policy, ln.Addr(), orDefault(*admission, "admit-all"), *drain)
+
+	serveErr := srv.Serve(ctx, ln)
+	stop()
+
+	// Flush the final metrics snapshot taken during drain.
+	if st, ok := srv.Final(); ok {
+		r := st.Result
+		fmt.Fprintf(stderr, "rtserve: drained: committed=%d dropped=%d rejected=%d miss=%.1f%% mean_response=%.2fms restarts/txn=%.3f\n",
+			r.Committed, r.Dropped, r.Rejected, r.MissPercent, r.MeanResponseMs, r.RestartsPerTxn)
+	}
+	if serveErr != nil {
+		fmt.Fprintf(stderr, "rtserve: %v\n", serveErr)
+		return 1
+	}
+	fmt.Fprintln(stderr, "rtserve: shutdown complete")
+	return 0
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

@@ -7,53 +7,72 @@
 //	rtsim -policy edf-hp -rate 5 -disk -seeds 30
 //	rtsim -policy cca -rate 8 -weight 5 -dbsize 300 -count 2000
 //	rtsim -policy cca -rate 2 -count 5 -trace        # event-by-event trace
+//
+// SIGINT/SIGTERM interrupt a multi-seed run between seeds: the summary
+// over the seeds that did complete is still printed, then rtsim exits
+// with the conventional interrupt code 130.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 
 	"repro"
 )
 
 func main() {
-	var (
-		policy  = flag.String("policy", "cca", "scheduling policy: cca, edf-hp, edf-wp, lsf-hp, fcfs")
-		rate    = flag.Float64("rate", 5, "arrival rate (transactions/second)")
-		count   = flag.Int("count", 0, "transactions per run (0 = paper default)")
-		dbsize  = flag.Int("dbsize", 0, "database size (0 = paper default)")
-		disk    = flag.Bool("disk", false, "disk-resident configuration (Table 2) instead of main memory (Table 1)")
-		weight  = flag.Float64("weight", 1, "CCA penalty-weight w")
-		cpus    = flag.Int("cpus", 1, "number of CPUs (extension)")
-		reads   = flag.Float64("reads", 0, "fraction of accesses taking shared locks (extension)")
-		seeds   = flag.Int("seeds", 1, "number of seeds to average over")
-		seed    = flag.Int64("seed", 1, "first seed")
-		wlFile  = flag.String("workload", "", "replay an archived workload (rtworkload -gen) instead of generating one")
-		trace   = flag.Bool("trace", false, "print the event trace (single seed only)")
-		verbose = flag.Bool("v", false, "print per-seed results")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-		faultSpec = flag.String("fault", "", "fault-injection plan: inline JSON ({...}) or a path to a JSON file")
-		oracle    = flag.Bool("oracle", false, "enable the runtime safety oracle (fails the run on the first violated paper invariant)")
-		watchdog  = flag.Int("watchdog", 0, "watchdog budget: max same-instant events before declaring a stall (0 = default, <0 = off)")
-		admission = flag.String("admission", "", "admission mode: reject-newest or reject-infeasible (empty = admit all)")
-		admMax    = flag.Int("admission-max", 0, "live-set cap for the admission controller (required for reject-newest)")
+// run is the testable entry point: it parses args, executes, and returns
+// the process exit code (0 success, 1 runtime error, 2 usage error, 130
+// interrupted).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rtsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		policy  = fs.String("policy", "cca", "scheduling policy: cca, edf-hp, edf-wp, lsf-hp, fcfs")
+		rate    = fs.Float64("rate", 5, "arrival rate (transactions/second)")
+		count   = fs.Int("count", 0, "transactions per run (0 = paper default)")
+		dbsize  = fs.Int("dbsize", 0, "database size (0 = paper default)")
+		disk    = fs.Bool("disk", false, "disk-resident configuration (Table 2) instead of main memory (Table 1)")
+		weight  = fs.Float64("weight", 1, "CCA penalty-weight w")
+		cpus    = fs.Int("cpus", 1, "number of CPUs (extension)")
+		reads   = fs.Float64("reads", 0, "fraction of accesses taking shared locks (extension)")
+		seeds   = fs.Int("seeds", 1, "number of seeds to average over")
+		seed    = fs.Int64("seed", 1, "first seed")
+		wlFile  = fs.String("workload", "", "replay an archived workload (rtworkload -gen) instead of generating one")
+		trace   = fs.Bool("trace", false, "print the event trace (single seed only)")
+		verbose = fs.Bool("v", false, "print per-seed results")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = fs.String("memprofile", "", "write a heap profile to this file on exit")
+
+		faultSpec = fs.String("fault", "", "fault-injection plan: inline JSON ({...}) or a path to a JSON file")
+		oracle    = fs.Bool("oracle", false, "enable the runtime safety oracle (fails the run on the first violated paper invariant)")
+		watchdog  = fs.Int("watchdog", 0, "watchdog budget: max same-instant events before declaring a stall (0 = default, <0 = off)")
+		admission = fs.String("admission", "", "admission mode: reject-newest or reject-infeasible (empty = admit all)")
+		admMax    = fs.Int("admission-max", 0, "live-set cap for the admission controller (required for reject-newest)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rtsim: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rtsim: %v\n", err)
+			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "rtsim: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rtsim: %v\n", err)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -61,13 +80,13 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memProf)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "rtsim: %v\n", err)
+				fmt.Fprintf(stderr, "rtsim: %v\n", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "rtsim: %v\n", err)
+				fmt.Fprintf(stderr, "rtsim: %v\n", err)
 			}
 		}()
 	}
@@ -91,111 +110,134 @@ func main() {
 	if *faultSpec != "" {
 		plan, err := loadFaultPlan(*faultSpec)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rtsim: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "rtsim: %v\n", err)
+			return 2
 		}
 		cfg.Fault = plan
 	}
 	cfg.WatchdogBudget = *watchdog
 	cfg.Admission = rtdbs.AdmissionConfig{Mode: rtdbs.AdmissionMode(*admission), MaxLive: *admMax}
 	if err := cfg.Validate(); err != nil {
-		fmt.Fprintf(os.Stderr, "rtsim: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "rtsim: %v\n", err)
+		return 2
 	}
 
 	if *wlFile != "" {
 		f, err := os.Open(*wlFile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rtsim: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rtsim: %v\n", err)
+			return 1
 		}
 		wl, err := rtdbs.ReadWorkloadJSON(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rtsim: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rtsim: %v\n", err)
+			return 1
 		}
 		// Replay: the workload fixes everything except the policy knobs.
 		cfg.Workload = wl.Params
 		e, err := rtdbs.NewWithWorkload(cfg, wl)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rtsim: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rtsim: %v\n", err)
+			return 1
 		}
 		if *oracle {
 			e.EnableOracle()
 		}
 		res, err := e.Run()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rtsim: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rtsim: %v\n", err)
+			return 1
 		}
-		fmt.Printf("replayed %s under %s\n%s\n", *wlFile, *policy, res)
-		return
+		fmt.Fprintf(stdout, "replayed %s under %s\n%s\n", *wlFile, *policy, res)
+		return 0
 	}
 
 	if *trace {
 		e, err := rtdbs.New(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rtsim: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rtsim: %v\n", err)
+			return 1
 		}
 		e.SetTrace(func(format string, args ...any) {
-			fmt.Printf(format+"\n", args...)
+			fmt.Fprintf(stdout, format+"\n", args...)
 		})
 		if *oracle {
 			e.EnableOracle()
 		}
 		res, err := e.Run()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rtsim: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rtsim: %v\n", err)
+			return 1
 		}
-		fmt.Printf("\n%s\n", res)
-		return
+		fmt.Fprintf(stdout, "\n%s\n", res)
+		return 0
 	}
 
+	// SIGINT/SIGTERM interrupt the seed loop between seeds: the current
+	// seed finishes, the summary over the completed seeds is still
+	// printed, and rtsim exits 130.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	agg := &rtdbs.Aggregate{}
+	completed := 0
+	interrupted := false
 	for s := *seed; s < *seed+int64(*seeds); s++ {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		c := cfg
 		c.Seed = s
 		e, err := rtdbs.New(c)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rtsim: seed %d: %v\n", s, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rtsim: seed %d: %v\n", s, err)
+			return 1
 		}
 		if *oracle {
 			e.EnableOracle()
 		}
 		res, err := e.Run()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rtsim: seed %d: %v\n", s, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "rtsim: seed %d: %v\n", s, err)
+			return 1
 		}
 		if *verbose {
-			fmt.Printf("seed %-3d %s\n", s, res)
+			fmt.Fprintf(stdout, "seed %-3d %s\n", s, res)
 		}
 		agg.Add(res)
+		completed++
+	}
+	if interrupted {
+		fmt.Fprintf(stderr, "rtsim: interrupted after %d/%d seeds\n", completed, *seeds)
+		if completed == 0 {
+			return 130
+		}
 	}
 	sum := agg.Summary()
-	fmt.Printf("policy=%s rate=%.2g seeds=%d\n", *policy, *rate, *seeds)
-	fmt.Printf("  miss        = %6.2f%%  (±%.2f)\n", sum.MissPercent, agg.MissPercent.CI95())
-	fmt.Printf("  lateness    = %6.2f ms (±%.2f)\n", sum.MeanLatenessMs, agg.MeanLatenessMs.CI95())
-	fmt.Printf("  restarts/txn= %6.3f   (±%.3f)\n", sum.RestartsPerTxn, agg.RestartsPerTxn.CI95())
-	fmt.Printf("  cpu util    = %6.1f%%\n", 100*sum.CPUUtilization)
+	fmt.Fprintf(stdout, "policy=%s rate=%.2g seeds=%d\n", *policy, *rate, completed)
+	fmt.Fprintf(stdout, "  miss        = %6.2f%%  (±%.2f)\n", sum.MissPercent, agg.MissPercent.CI95())
+	fmt.Fprintf(stdout, "  lateness    = %6.2f ms (±%.2f)\n", sum.MeanLatenessMs, agg.MeanLatenessMs.CI95())
+	fmt.Fprintf(stdout, "  restarts/txn= %6.3f   (±%.3f)\n", sum.RestartsPerTxn, agg.RestartsPerTxn.CI95())
+	fmt.Fprintf(stdout, "  cpu util    = %6.1f%%\n", 100*sum.CPUUtilization)
 	if sum.DiskUtilization > 0 {
-		fmt.Printf("  disk util   = %6.1f%%\n", 100*sum.DiskUtilization)
+		fmt.Fprintf(stdout, "  disk util   = %6.1f%%\n", 100*sum.DiskUtilization)
 	}
-	fmt.Printf("  avg P-list  = %6.2f\n", sum.AvgPListSize)
+	fmt.Fprintf(stdout, "  avg P-list  = %6.2f\n", sum.AvgPListSize)
 	if sum.LockWaits > 0 || sum.Deadlocks > 0 {
-		fmt.Printf("  lock waits  = %d, deadlocks = %d\n", sum.LockWaits, sum.Deadlocks)
+		fmt.Fprintf(stdout, "  lock waits  = %d, deadlocks = %d\n", sum.LockWaits, sum.Deadlocks)
 	}
 	if sum.Admitted > 0 || sum.Rejected > 0 {
-		fmt.Printf("  admitted    = %d, rejected = %d\n", sum.Admitted, sum.Rejected)
+		fmt.Fprintf(stdout, "  admitted    = %d, rejected = %d\n", sum.Admitted, sum.Rejected)
 	}
 	if sum.RetriedIO > 0 || sum.FaultAborts > 0 {
-		fmt.Printf("  io retries  = %d, fault aborts = %d\n", sum.RetriedIO, sum.FaultAborts)
+		fmt.Fprintf(stdout, "  io retries  = %d, fault aborts = %d\n", sum.RetriedIO, sum.FaultAborts)
 	}
+	if interrupted {
+		return 130
+	}
+	return 0
 }
 
 // loadFaultPlan parses a fault plan given inline ("{...}") or as a path to

@@ -59,6 +59,9 @@ type Engine struct {
 	all   []*Txn // every transaction, indexed by ID
 	live  []*Txn // arrived, not yet committed, in arrival order
 	slots []*Txn // CPU occupants (nil = idle)
+	// freeIDs holds retired transaction IDs for reuse (wall-clock service
+	// mode only; simulation runs never retire IDs).
+	freeIDs []int
 
 	// Incremental dispatch state (unused when Config.NaiveDispatch keeps
 	// the original re-sort-everything pass):
@@ -498,6 +501,9 @@ func (e *Engine) onArrival(t *Txn) {
 			if now := time.Duration(e.sim.Now()); now > e.run.Elapsed {
 				e.run.Elapsed = now
 			}
+			if t.done != nil {
+				t.done(t)
+			}
 			return
 		}
 		e.run.Admitted++
@@ -808,6 +814,9 @@ func (e *Engine) commit(t *Txn) {
 		e.tracef("T%d commits (lateness %.1fms, restarts %d)", t.ID(), ms(time.Duration(t.finish)-t.Spec.Deadline), t.restarts)
 	}
 	e.emit(trace.Event{Kind: trace.Commit, Txn: t.ID(), Other: -1, Item: -1, Priority: t.priority})
+	if t.done != nil {
+		t.done(t)
+	}
 	e.requestReschedule()
 	if !e.inReschedule {
 		e.reschedule()
@@ -851,6 +860,9 @@ func (e *Engine) drop(t *Txn) {
 	now := time.Duration(e.sim.Now())
 	if now > e.run.Elapsed {
 		e.run.Elapsed = now
+	}
+	if t.done != nil {
+		t.done(t)
 	}
 	e.requestReschedule()
 }

@@ -1,0 +1,524 @@
+// Service runs the engine as a wall-clock transaction service: instead of
+// executing a pre-generated workload in virtual time, transactions are
+// submitted while the clock runs (from HTTP handlers, load generators,
+// tests), execute under the configured policy exactly as they would in the
+// simulator, and report their fate back to the submitter.
+//
+// The engine code is shared, not forked: the same calendar, the same
+// scheduling points, the same conflict machinery. The only difference is
+// the driver (sim.Realtime sleeps until events are due and folds in
+// injected arrivals) and the per-transaction completion callback, which is
+// nil on every simulation run. That is the whole equivalence argument for
+// the Clock refactor — virtual-time runs execute byte-for-byte the same
+// code they always did, and the equivalence matrix keeps proving them
+// bit-identical.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/disk"
+	"repro/internal/fault"
+	"repro/internal/history"
+	"repro/internal/lock"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/txn"
+	"repro/internal/workload"
+)
+
+// Errors reported by Service.Submit.
+var (
+	// ErrServiceStopped reports a submission against a service whose Run
+	// has returned (shutdown, engine failure).
+	ErrServiceStopped = errors.New("core: service stopped")
+	// ErrDraining reports a submission during graceful drain: the service
+	// finishes in-flight transactions but accepts no new ones.
+	ErrDraining = errors.New("core: service draining")
+)
+
+// ServiceOptions tune the wall-clock service without changing what the
+// engine computes.
+type ServiceOptions struct {
+	// Speed is the simulated-to-wall time ratio (sim.RealtimeOptions.Speed);
+	// 0 means 1 (real time). Tests compress time with large speeds.
+	Speed float64
+	// SampleWindow bounds the engine's per-commit tardiness samples to the
+	// most recent N commits so a long-lived service keeps constant memory
+	// (0 picks a default of 4096).
+	SampleWindow int
+	// Oracle attaches the runtime safety oracle: a violated paper
+	// invariant stops the service with an error (surfaced by Err and
+	// /healthz) instead of silently corrupting results. The oracle records
+	// the full operation history, so it is meant for soak and verification
+	// runs, not unbounded production serving.
+	Oracle bool
+	// StallBudget is the wall-clock watchdog (sim.RealtimeOptions
+	// .StallBudget): max same-instant events before the driver declares a
+	// stall. 0 picks a generous default; < 0 disables.
+	StallBudget int
+}
+
+// ServiceRequest describes one submitted transaction. The deadline is
+// relative to the (server-assigned) arrival instant, which is the moment
+// the request reaches the engine's clock.
+type ServiceRequest struct {
+	// Items is the ordered access list; every item must lie in
+	// [0, DBSize).
+	Items []txn.Item
+	// Reads optionally flags, per item, a shared-lock access (nil = all
+	// writes). Length must match Items when non-nil.
+	Reads []bool
+	// NeedsIO optionally flags, per item, a disk access before the
+	// computation (nil = none). Length must match Items when non-nil.
+	NeedsIO []bool
+	// Compute is the CPU time per item update.
+	Compute time.Duration
+	// Deadline is the client's soft deadline, relative to arrival.
+	Deadline time.Duration
+	// Criticality and Class carry the workload extensions (0 is fine).
+	Criticality int
+	Class       int
+}
+
+// validate reports the first problem with the request against the
+// service's configuration.
+func (r *ServiceRequest) validate(cfg *Config) error {
+	if len(r.Items) == 0 {
+		return fmt.Errorf("core: transaction accesses no items")
+	}
+	for _, it := range r.Items {
+		if int(it) < 0 || int(it) >= cfg.Workload.DBSize {
+			return fmt.Errorf("core: item %d outside database of size %d", it, cfg.Workload.DBSize)
+		}
+	}
+	if r.Reads != nil && len(r.Reads) != len(r.Items) {
+		return fmt.Errorf("core: %d read flags for %d items", len(r.Reads), len(r.Items))
+	}
+	if r.NeedsIO != nil && len(r.NeedsIO) != len(r.Items) {
+		return fmt.Errorf("core: %d io flags for %d items", len(r.NeedsIO), len(r.Items))
+	}
+	if r.Compute <= 0 {
+		return fmt.Errorf("core: compute time %v <= 0", r.Compute)
+	}
+	if r.Deadline <= 0 {
+		return fmt.Errorf("core: relative deadline %v <= 0", r.Deadline)
+	}
+	if cfg.Workload.DiskAccessProb <= 0 {
+		for i, io := range r.NeedsIO {
+			if io {
+				return fmt.Errorf("core: item %d needs IO but the service is main-memory-resident (DiskAccessProb 0)", r.Items[i])
+			}
+		}
+	}
+	return nil
+}
+
+// ServiceOutcome reports a submitted transaction's fate. Times are on the
+// service's clock (simulated time, which tracks the wall).
+type ServiceOutcome struct {
+	// State is the terminal state: StateCommitted, StateDropped (wounded
+	// by cancellation or drain) or StateRejected (admission control).
+	State State
+	// Missed reports a commit after the deadline (always true for dropped
+	// and rejected transactions).
+	Missed bool
+	// Arrival, Finish and Deadline are absolute service-clock times.
+	Arrival  time.Duration
+	Finish   time.Duration
+	Deadline time.Duration
+	// Response is Finish − Arrival (0 for rejected transactions).
+	Response time.Duration
+	// Restarts counts how many times the transaction was wounded and
+	// re-run before finishing.
+	Restarts int
+}
+
+// ServiceStats is a point-in-time observability snapshot.
+type ServiceStats struct {
+	// Result carries the engine's run counters so far (commits, misses,
+	// restarts, admission counters, percentiles over the recent window).
+	Result metrics.Result
+	// Live is the number of admitted, unfinished transactions.
+	Live int
+	// Now is the current service-clock time.
+	Now time.Duration
+}
+
+// Service is a wall-clock transaction service over one Engine.
+type Service struct {
+	e  *Engine
+	rt *sim.Realtime
+
+	stopCh chan struct{}
+
+	mu       sync.Mutex
+	draining bool
+	err      error
+}
+
+// NewService builds a wall-clock service for the configuration.
+// cfg.Workload supplies the structural parameters (database size, compute
+// and disk times); its generation parameters (Count, ArrivalRate, slack)
+// are unused — arrivals and deadlines come from submissions.
+func NewService(cfg Config, opt ServiceOptions) (*Service, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:    cfg,
+		policy: newPolicy(cfg),
+		sim:    sim.New(),
+		lm:     lock.NewManagerSized(cfg.Workload.DBSize, 64),
+		store:  db.New(cfg.Workload.DBSize),
+		wl:     &workload.Workload{Params: cfg.Workload},
+		slots:  make([]*Txn, cfg.NumCPUs),
+	}
+	if cfg.RecordHistory {
+		e.hist = history.New()
+	}
+	if !cfg.NaiveConflictScan {
+		e.ci = newConflictIndex(cfg.Workload.DBSize)
+	}
+	e.evalMode = e.policy.Staticness()
+	if e.evalMode == EvalConflictClocked && e.ci == nil {
+		e.evalMode = EvalDynamic
+	}
+	if !cfg.Fault.Zero() {
+		e.fault = fault.NewInjector(cfg.Seed, cfg.Fault)
+	}
+	if cfg.Workload.DiskAccessProb > 0 {
+		n := cfg.NumDisks
+		if n <= 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			d := disk.New(e.sim, cfg.Workload.DiskAccessTime, cfg.DiskDiscipline)
+			if e.fault != nil {
+				d.SetFaults(e.fault)
+			}
+			e.disks = append(e.disks, d)
+		}
+	}
+	e.run.CPUs = cfg.NumCPUs
+	e.run.SampleWindow = opt.SampleWindow
+	if e.run.SampleWindow == 0 {
+		e.run.SampleWindow = 4096
+	}
+	s := &Service{e: e, stopCh: make(chan struct{})}
+	if opt.Oracle {
+		e.EnableOracle()
+	}
+	s.rt = sim.NewRealtime(e.sim, sim.RealtimeOptions{
+		Speed:       opt.Speed,
+		StallBudget: opt.StallBudget,
+		Check: func() error {
+			if e.oracle != nil && e.oracle.err != nil {
+				return fmt.Errorf("core: oracle: %w", e.oracle.err)
+			}
+			return nil
+		},
+	})
+	return s, nil
+}
+
+// Run drives the service until the context is cancelled or the engine
+// fails (a panic, a stall, or an oracle violation). It must be called
+// exactly once; Submit blocks until Run is live. Cancellation is a normal
+// shutdown and returns ctx.Err(); any other return is a failure, also
+// surfaced by Err.
+func (s *Service) Run(ctx context.Context) error {
+	defer close(s.stopCh)
+	err := func() (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("core: service engine panic: %v", p)
+			}
+		}()
+		return s.rt.Run(ctx)
+	}()
+	if err != nil && !errors.Is(err, context.Canceled) {
+		s.mu.Lock()
+		s.err = err
+		s.mu.Unlock()
+	}
+	return err
+}
+
+// Err returns the failure that stopped (or is about to stop) the service:
+// an engine panic, a driver stall, or an oracle violation. nil while
+// healthy and after a clean cancellation.
+func (s *Service) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Draining reports whether graceful drain has begun.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Submit runs one transaction through the service and blocks until it
+// reaches a terminal state. The request context carries the client:
+// cancellation wounds the transaction (it is dropped — a response no one
+// is waiting for has no value) and returns the ctx error alongside the
+// dropped outcome. ErrDraining and ErrServiceStopped reject the
+// submission outright; an admission-control rejection is not an error but
+// an outcome (StateRejected) so callers can distinguish shedding from
+// failure.
+func (s *Service) Submit(ctx context.Context, req ServiceRequest) (ServiceOutcome, error) {
+	if err := req.validate(&s.e.cfg); err != nil {
+		return ServiceOutcome{}, err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return ServiceOutcome{}, ErrDraining
+	}
+	s.mu.Unlock()
+
+	done := make(chan ServiceOutcome, 1)
+	spec := &workload.Spec{
+		Items:       req.Items,
+		Compute:     req.Compute,
+		Reads:       req.Reads,
+		NeedsIO:     req.NeedsIO,
+		Criticality: req.Criticality,
+		Class:       req.Class,
+	}
+	// tp is written by the arrival call and read by the cancellation
+	// call; both run on the driver goroutine, which orders them.
+	var tp *Txn
+	err := s.rt.Call(func() {
+		now := time.Duration(s.e.sim.Now())
+		spec.Arrival = now
+		spec.Deadline = now + req.Deadline
+		tp = s.e.addServiceTxn(spec, func(t *Txn) {
+			done <- outcomeOf(t)
+			s.e.retireServiceTxn(t)
+		})
+		s.e.onArrival(tp)
+	})
+	if err != nil {
+		return ServiceOutcome{}, ErrServiceStopped
+	}
+
+	select {
+	case o := <-done:
+		return o, nil
+	case <-s.stopCh:
+		return ServiceOutcome{}, ErrServiceStopped
+	case <-ctx.Done():
+		// The client is gone: wound the transaction if it is still in
+		// flight. Its terminal callback still fires (as a drop), so the
+		// outcome arrives on done unless the driver stops first.
+		_ = s.rt.Call(func() { s.e.cancelServiceTxn(tp) })
+		select {
+		case o := <-done:
+			return o, ctx.Err()
+		case <-s.stopCh:
+			return ServiceOutcome{}, ErrServiceStopped
+		}
+	}
+}
+
+// Drain performs graceful shutdown of the transaction flow: new
+// submissions fail with ErrDraining, in-flight transactions run to
+// completion, and when the context expires before they finish every
+// remaining one is wounded and dropped. It returns nil when the live set
+// drained naturally, ctx.Err() when stragglers were wounded. The caller
+// still owns Run's context and should cancel it after Drain returns.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	for {
+		live := make(chan int, 1)
+		if err := s.rt.Call(func() { live <- len(s.e.live) }); err != nil {
+			return nil // driver already stopped: nothing left to drain
+		}
+		select {
+		case n := <-live:
+			if n == 0 {
+				return nil
+			}
+		case <-s.stopCh:
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			wounded := make(chan struct{}, 1)
+			if err := s.rt.Call(func() {
+				s.e.dropAllLive()
+				wounded <- struct{}{}
+			}); err != nil {
+				return nil
+			}
+			select {
+			case <-wounded:
+			case <-s.stopCh:
+			}
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		case <-s.stopCh:
+			return nil
+		}
+	}
+}
+
+// InjectEvent feeds a forged trace event through the engine's observers on
+// the driver goroutine (see Engine.InjectEvent) — fault-injection tooling:
+// forging a violating event is how tests prove the live oracle actually
+// stops the service.
+func (s *Service) InjectEvent(ev trace.Event) error {
+	return s.rt.Call(func() { s.e.InjectEvent(ev) })
+}
+
+// Stats returns a point-in-time observability snapshot, or ok=false once
+// the service has stopped.
+func (s *Service) Stats() (ServiceStats, bool) {
+	ch := make(chan ServiceStats, 1)
+	if err := s.rt.Call(func() {
+		ch <- ServiceStats{
+			Result: s.e.run.Result(),
+			Live:   len(s.e.live),
+			Now:    time.Duration(s.e.sim.Now()),
+		}
+	}); err != nil {
+		return ServiceStats{}, false
+	}
+	select {
+	case st := <-ch:
+		return st, true
+	case <-s.stopCh:
+		return ServiceStats{}, false
+	}
+}
+
+// outcomeOf converts a terminal transaction into its submission outcome.
+func outcomeOf(t *Txn) ServiceOutcome {
+	o := ServiceOutcome{
+		State:    t.state,
+		Arrival:  t.Spec.Arrival,
+		Deadline: t.Spec.Deadline,
+		Restarts: t.restarts,
+	}
+	switch t.state {
+	case StateCommitted:
+		o.Finish = time.Duration(t.finish)
+		o.Response = o.Finish - o.Arrival
+		o.Missed = o.Finish > o.Deadline
+	default: // dropped or rejected
+		o.Missed = true
+	}
+	return o
+}
+
+// --- engine-side service plumbing (driver goroutine only) ---------------
+
+// addServiceTxn builds the runtime transaction for a dynamically submitted
+// spec, assigns its ID (recycling finished IDs so the lock-manager, store
+// and transaction tables stay bounded by the peak live set, not the
+// request count) and registers the terminal callback. The construction
+// mirrors NewWithWorkload's per-transaction setup.
+func (e *Engine) addServiceTxn(spec *workload.Spec, done func(*Txn)) *Txn {
+	// Recycling is safe only when nothing identifies transactions across
+	// time: the history (and so the oracle's serializability checks) and
+	// the trace recorder key operations by transaction ID.
+	recycle := e.hist == nil && e.rec == nil
+	id := -1
+	if recycle && len(e.freeIDs) > 0 {
+		id = e.freeIDs[len(e.freeIDs)-1]
+		e.freeIDs = e.freeIDs[:len(e.freeIDs)-1]
+	}
+	if id < 0 {
+		id = len(e.all)
+		e.all = append(e.all, nil)
+	}
+	spec.ID = id
+
+	t := &Txn{Spec: spec}
+	words := (e.cfg.Workload.DBSize + 63) / 64
+	nsets := 2
+	if len(spec.MightFull) > 0 {
+		nsets++
+	}
+	slab := make([]uint64, nsets*words)
+	carve := func(items []txn.Item) bitset {
+		b := bitset(slab[:words:words])
+		slab = slab[words:]
+		for _, it := range items {
+			b.add(it)
+		}
+		return b
+	}
+	t.might = carve(spec.Items)
+	t.has = carve(nil)
+	t.cpu = -1
+	t.plistIdx = -1
+	t.inherited = negInf
+	if len(spec.MightFull) > 0 && !e.cfg.PessimisticAnalysis {
+		t.mightNarrow = t.might
+		t.mightFull = carve(spec.MightFull)
+		t.might = t.mightFull
+	} else if len(spec.MightFull) > 0 {
+		t.might = carve(spec.MightFull)
+	}
+	for _, r := range spec.Reads {
+		if r {
+			e.hasReads = true
+			break
+		}
+	}
+	t.updateDoneFn = func() { e.onUpdateDone(t) }
+	t.rollbackDoneFn = func() { e.onRollbackDone(t, t.pendingRollback) }
+	t.done = done
+	e.all[id] = t
+	return t
+}
+
+// retireServiceTxn releases a terminal transaction's table slot so its ID
+// can be reused by a later submission. Old references (a pending firm
+// deadline event, a stale disk completion) hold the Txn object itself and
+// observe its terminal state; they never go through the freed slot.
+func (e *Engine) retireServiceTxn(t *Txn) {
+	if e.hist != nil || e.rec != nil {
+		return // IDs stay unique for the history/trace; tables grow instead
+	}
+	e.all[t.ID()] = nil
+	e.freeIDs = append(e.freeIDs, t.ID())
+}
+
+// cancelServiceTxn wounds a submitted transaction whose client has gone
+// away (or whose drain deadline expired): it is dropped exactly like a
+// firm-deadline expiry. A transaction already terminal is left alone.
+func (e *Engine) cancelServiceTxn(t *Txn) {
+	if t == nil {
+		return
+	}
+	switch t.state {
+	case StateCommitted, StateDropped, StateRejected:
+		return
+	}
+	e.note()
+	e.drop(t)
+	e.reschedule()
+}
+
+// dropAllLive wounds every live transaction (drain-deadline expiry).
+func (e *Engine) dropAllLive() {
+	e.note()
+	for len(e.live) > 0 {
+		e.drop(e.live[0])
+	}
+	e.reschedule()
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/txn"
+)
+
+// startService builds and runs a wall-clock service at heavily compressed
+// time, returning it plus a shutdown func that stops the driver and waits
+// for Run to return.
+func startService(t *testing.T, cfg Config, opt ServiceOptions) (*Service, func()) {
+	t.Helper()
+	if opt.Speed == 0 {
+		opt.Speed = 5000 // 1ms simulated ≈ 200ns wall
+	}
+	s, err := NewService(cfg, opt)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+	return s, func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("service Run did not return after cancel")
+		}
+	}
+}
+
+// simpleReq builds a small all-write main-memory transaction.
+func simpleReq(items ...txn.Item) ServiceRequest {
+	return ServiceRequest{
+		Items:    items,
+		Compute:  time.Millisecond,
+		Deadline: 500 * time.Millisecond,
+	}
+}
+
+// TestServiceCommits submits concurrent transactions against the
+// wall-clock CCA engine and checks they all commit with coherent timings.
+func TestServiceCommits(t *testing.T) {
+	s, stop := startService(t, MainMemoryConfig(CCA, 1), ServiceOptions{})
+	defer stop()
+
+	const n = 24
+	var wg sync.WaitGroup
+	outcomes := make([]ServiceOutcome, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outcomes[i], errs[i] = s.Submit(context.Background(), simpleReq(txn.Item(i%7), txn.Item(15+i%11)))
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("submit %d: %v", i, errs[i])
+		}
+		o := outcomes[i]
+		if o.State != StateCommitted {
+			t.Fatalf("submit %d finished %v, want committed", i, o.State)
+		}
+		if o.Finish < o.Arrival || o.Response != o.Finish-o.Arrival {
+			t.Fatalf("submit %d has incoherent timing: %+v", i, o)
+		}
+	}
+	st, ok := s.Stats()
+	if !ok {
+		t.Fatal("Stats after commits: service reported stopped")
+	}
+	if st.Result.Committed != n {
+		t.Fatalf("stats report %d commits, want %d", st.Result.Committed, n)
+	}
+	if st.Live != 0 {
+		t.Fatalf("stats report %d live after all commits", st.Live)
+	}
+}
+
+// TestServiceValidation checks that malformed requests are refused before
+// they reach the engine.
+func TestServiceValidation(t *testing.T) {
+	s, stop := startService(t, MainMemoryConfig(CCA, 2), ServiceOptions{})
+	defer stop()
+
+	bad := []ServiceRequest{
+		{Compute: time.Millisecond, Deadline: time.Second},                                          // no items
+		{Items: []txn.Item{100000}, Compute: time.Millisecond, Deadline: time.Second},               // out of range
+		{Items: []txn.Item{1}, Compute: 0, Deadline: time.Second},                                   // no compute
+		{Items: []txn.Item{1}, Compute: time.Millisecond, Deadline: 0},                              // no deadline
+		{Items: []txn.Item{1}, Compute: time.Millisecond, Deadline: time.Second, Reads: []bool{}},   // flag length
+		{Items: []txn.Item{1}, Compute: time.Millisecond, Deadline: time.Second, NeedsIO: []bool{true}}, // IO without disks
+	}
+	bad[4].Reads = []bool{true, false}
+	for i, req := range bad {
+		if _, err := s.Submit(context.Background(), req); err == nil {
+			t.Fatalf("bad request %d was accepted", i)
+		}
+	}
+}
+
+// TestServiceAdmissionSheds checks that the reject-infeasible admission
+// controller surfaces shedding as a StateRejected outcome, not an error.
+func TestServiceAdmissionSheds(t *testing.T) {
+	cfg := MainMemoryConfig(CCA, 3)
+	cfg.Admission = AdmissionConfig{Mode: RejectInfeasible}
+	s, stop := startService(t, cfg, ServiceOptions{})
+	defer stop()
+
+	// 25 updates × 1ms compute on one CPU cannot finish in 2ms.
+	req := ServiceRequest{
+		Items:    make([]txn.Item, 25),
+		Compute:  time.Millisecond,
+		Deadline: 2 * time.Millisecond,
+	}
+	for i := range req.Items {
+		req.Items[i] = txn.Item(i)
+	}
+	o, err := s.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if o.State != StateRejected || !o.Missed {
+		t.Fatalf("infeasible request finished %+v, want rejected+missed", o)
+	}
+
+	// A feasible one still commits.
+	o, err = s.Submit(context.Background(), simpleReq(3))
+	if err != nil {
+		t.Fatalf("Submit feasible: %v", err)
+	}
+	if o.State != StateCommitted {
+		t.Fatalf("feasible request finished %v, want committed", o.State)
+	}
+}
+
+// TestServiceClientCancel checks that a departed client's transaction is
+// wounded: the outcome is a drop and the ctx error is surfaced.
+func TestServiceClientCancel(t *testing.T) {
+	// Slow things down so the transaction is reliably still in flight when
+	// the client cancels: 1 simulated second of compute at Speed 50 is
+	// 20ms of wall time.
+	cfg := MainMemoryConfig(CCA, 4)
+	s, stop := startService(t, cfg, ServiceOptions{Speed: 50})
+	defer stop()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	o, err := s.Submit(ctx, ServiceRequest{
+		Items:    []txn.Item{1, 2, 3},
+		Compute:  time.Second,
+		Deadline: time.Hour,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Submit returned err %v, want context.Canceled", err)
+	}
+	if o.State != StateDropped {
+		t.Fatalf("cancelled transaction finished %v, want dropped", o.State)
+	}
+}
+
+// TestServiceDrain checks graceful drain: new submissions are refused,
+// in-flight work is wounded when the drain deadline expires, and the live
+// set is empty afterwards.
+func TestServiceDrain(t *testing.T) {
+	cfg := MainMemoryConfig(CCA, 5)
+	s, stop := startService(t, cfg, ServiceOptions{Speed: 50})
+	defer stop()
+
+	started := make(chan struct{})
+	result := make(chan ServiceOutcome, 1)
+	go func() {
+		close(started)
+		o, _ := s.Submit(context.Background(), ServiceRequest{
+			Items:    []txn.Item{1, 2, 3, 4, 5},
+			Compute:  time.Second,
+			Deadline: time.Hour,
+		})
+		result <- o
+	}()
+	<-started
+	time.Sleep(5 * time.Millisecond) // let the submission reach the engine
+
+	dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer dcancel()
+	if err := s.Drain(dctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain returned %v, want deadline exceeded (wounded stragglers)", err)
+	}
+
+	if _, err := s.Submit(context.Background(), simpleReq(9)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit during drain returned %v, want ErrDraining", err)
+	}
+
+	select {
+	case o := <-result:
+		if o.State != StateDropped {
+			t.Fatalf("drained transaction finished %v, want dropped", o.State)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drained transaction never reported its outcome")
+	}
+	if st, ok := s.Stats(); !ok || st.Live != 0 {
+		t.Fatalf("after drain: stats ok=%v live=%d, want ok live=0", ok, st.Live)
+	}
+}
+
+// TestServiceDrainClean checks that a drain with no in-flight work (or
+// work that finishes in time) returns nil.
+func TestServiceDrainClean(t *testing.T) {
+	s, stop := startService(t, MainMemoryConfig(CCA, 6), ServiceOptions{})
+	defer stop()
+	if _, err := s.Submit(context.Background(), simpleReq(1)); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain of an idle service: %v", err)
+	}
+}
+
+// TestServiceStoppedSubmit checks that submissions against a stopped
+// service fail with ErrServiceStopped.
+func TestServiceStoppedSubmit(t *testing.T) {
+	s, stop := startService(t, MainMemoryConfig(CCA, 7), ServiceOptions{})
+	stop()
+	if _, err := s.Submit(context.Background(), simpleReq(1)); !errors.Is(err, ErrServiceStopped) {
+		t.Fatalf("Submit after stop returned %v, want ErrServiceStopped", err)
+	}
+	if _, ok := s.Stats(); ok {
+		t.Fatal("Stats after stop reported ok")
+	}
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain after stop: %v", err)
+	}
+}
+
+// TestServiceIDRecycling checks that a long sequential request stream
+// reuses transaction IDs so the engine's tables stay bounded by the peak
+// live set instead of the request count.
+func TestServiceIDRecycling(t *testing.T) {
+	s, stop := startService(t, MainMemoryConfig(CCA, 8), ServiceOptions{})
+	defer stop()
+	for i := 0; i < 200; i++ {
+		if _, err := s.Submit(context.Background(), simpleReq(txn.Item(i%30))); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	n := make(chan int, 1)
+	if err := s.rt.Call(func() { n <- len(s.e.all) }); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if got := <-n; got > 16 {
+		t.Fatalf("transaction table grew to %d entries over 200 sequential requests; IDs are not recycled", got)
+	}
+}
+
+// TestServiceOracleLive checks that the live oracle observes a healthy run
+// without tripping, and that enabling it disables ID recycling (the
+// history keys operations by transaction ID).
+func TestServiceOracleLive(t *testing.T) {
+	s, stop := startService(t, MainMemoryConfig(CCA, 9), ServiceOptions{Oracle: true})
+	defer stop()
+	for i := 0; i < 30; i++ {
+		o, err := s.Submit(context.Background(), simpleReq(txn.Item(i%5), txn.Item(20+i%3)))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if o.State != StateCommitted {
+			t.Fatalf("submit %d finished %v", i, o.State)
+		}
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("oracle tripped on a healthy run: %v", err)
+	}
+	n := make(chan int, 1)
+	if err := s.rt.Call(func() { n <- len(s.e.all) }); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if got := <-n; got != 30 {
+		t.Fatalf("oracle run recycled IDs: table has %d entries, want 30", got)
+	}
+}
+
+// TestServiceDiskIO runs the disk-resident configuration with IO-bearing
+// requests through the wall-clock path.
+func TestServiceDiskIO(t *testing.T) {
+	cfg := DiskConfig(CCA, 10)
+	s, stop := startService(t, cfg, ServiceOptions{})
+	defer stop()
+	req := ServiceRequest{
+		Items:    []txn.Item{5, 25},
+		NeedsIO:  []bool{true, true},
+		Compute:  time.Millisecond,
+		Deadline: 2 * time.Second,
+	}
+	o, err := s.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if o.State != StateCommitted {
+		t.Fatalf("IO transaction finished %v, want committed", o.State)
+	}
+	if st, ok := s.Stats(); !ok || st.Result.Committed != 1 {
+		t.Fatalf("stats after IO commit: ok=%v %+v", ok, st.Result)
+	}
+}

@@ -159,6 +159,13 @@ type Txn struct {
 	desiredStamp uint64
 
 	finish sim.Time
+
+	// done, when non-nil, is invoked once when the transaction reaches a
+	// terminal state (committed, dropped or rejected) — the wall-clock
+	// service's completion notification. nil for every simulation run, so
+	// the virtual-time path is untouched. It runs on the engine's driver
+	// goroutine and must not block.
+	done func(*Txn)
 }
 
 // ID returns the transaction instance ID.

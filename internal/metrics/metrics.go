@@ -80,9 +80,17 @@ type Run struct {
 	CPUs int
 	// Disks is the number of disks (for utilisation normalisation).
 	Disks int
+	// SampleWindow, when > 0, bounds latenessSamples to a ring of the most
+	// recent commits so that an unbounded run (the wall-clock service)
+	// keeps constant memory; the percentile metrics then describe the
+	// recent window rather than the whole run. 0 (the default, used by
+	// every simulation run) keeps every sample.
+	SampleWindow int
 	// latenessSamples holds each commit's tardiness in ms, for the
-	// percentile metrics.
+	// percentile metrics (a ring of the last SampleWindow commits when
+	// SampleWindow > 0, rotated at sampleIdx).
 	latenessSamples []float64
+	sampleIdx       int
 	// classes holds per-class commit counters (high-variance experiment).
 	classes map[int]*classCounts
 }
@@ -117,7 +125,12 @@ func (r *Run) Observe(class int, arrival, finish, deadline time.Duration) {
 		cc.tardinessSum += late
 		tardy = float64(late) / float64(time.Millisecond)
 	}
-	r.latenessSamples = append(r.latenessSamples, tardy)
+	if r.SampleWindow > 0 && len(r.latenessSamples) >= r.SampleWindow {
+		r.latenessSamples[r.sampleIdx] = tardy
+		r.sampleIdx = (r.sampleIdx + 1) % r.SampleWindow
+	} else {
+		r.latenessSamples = append(r.latenessSamples, tardy)
+	}
 }
 
 // percentile returns the p-th percentile (0..100) of sorted samples by

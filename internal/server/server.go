@@ -1,0 +1,458 @@
+// Package server exposes the wall-clock transaction service (core.Service)
+// over HTTP/JSON, engineered to degrade gracefully under real overload:
+//
+//   - submissions carry the client's deadline and are load-shed by the
+//     engine's admission controller (a shed request gets a fast 503 with
+//     Retry-After instead of queueing into certain lateness);
+//   - concurrency is bounded by an accept semaphore: past the bound the
+//     server answers 503 immediately rather than accumulating goroutines;
+//   - a departed client's transaction is wounded (context propagation all
+//     the way into the engine), so abandoned work stops consuming the CPU;
+//   - handler panics are isolated to the request that caused them;
+//   - shutdown drains: new work is refused, in-flight transactions finish
+//     or are wounded at the drain deadline, and the metrics snapshot stays
+//     servable until the very end;
+//   - observability is built in: /metrics (engine counters + server-side
+//     response percentiles), /healthz (engine/oracle failure surfaces
+//     here), /debug/pprof and /debug/vars.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/txn"
+)
+
+// Options configure the server.
+type Options struct {
+	// Core is the engine configuration (policy, workload structure,
+	// admission control). Admission is the server's load-shedding rule:
+	// core.RejectInfeasible turns arrivals that cannot meet their deadline
+	// into fast 503s.
+	Core core.Config
+	// Service tunes the wall-clock service (speed for tests, sample
+	// window, live oracle).
+	Service core.ServiceOptions
+	// MaxInflight bounds concurrently admitted HTTP submissions; past the
+	// bound the server sheds with a fast 503 (default 256).
+	MaxInflight int
+	// DrainTimeout bounds graceful shutdown: in-flight transactions get
+	// this long to finish before being wounded (default 5s).
+	DrainTimeout time.Duration
+	// ReadTimeout and WriteTimeout guard against slow clients holding
+	// connections (and their inflight slots) forever (default 15s each).
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+}
+
+func (o *Options) fillDefaults() {
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 256
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 5 * time.Second
+	}
+	if o.ReadTimeout <= 0 {
+		o.ReadTimeout = 15 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 15 * time.Second
+	}
+}
+
+// respWindow is the ring size for server-side response-time percentiles.
+const respWindow = 4096
+
+// Server is the HTTP front-end over one core.Service.
+type Server struct {
+	opts Options
+	svc  *core.Service
+	mux  *http.ServeMux
+
+	inflight chan struct{}
+
+	// Request counters (also rendered by /metrics).
+	accepted atomic.Int64 // submissions that reached the engine
+	shed     atomic.Int64 // fast 503s: inflight bound or draining
+	rejected atomic.Int64 // engine admission rejections
+	badReqs  atomic.Int64
+	panics   atomic.Int64
+
+	respMu      sync.Mutex
+	respSamples []float64 // wall-clock ms of completed submissions (ring)
+	respIdx     int
+
+	finalMu sync.Mutex
+	final   core.ServiceStats
+	finalOK bool
+}
+
+// New builds the server and its engine.
+func New(opts Options) (*Server, error) {
+	opts.fillDefaults()
+	svc, err := core.NewService(opts.Core, opts.Service)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:     opts,
+		svc:      svc,
+		mux:      http.NewServeMux(),
+		inflight: make(chan struct{}, opts.MaxInflight),
+	}
+	s.mux.HandleFunc("/submit", s.handleSubmit)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux.Handle("/debug/vars", expvar.Handler())
+	return s, nil
+}
+
+// Service returns the underlying wall-clock service (tests, direct use).
+func (s *Server) Service() *core.Service { return s.svc }
+
+// Final returns the metrics snapshot flushed during shutdown, once Serve
+// has returned. It reports false if Serve never drained (engine died
+// before the snapshot could be taken).
+func (s *Server) Final() (core.ServiceStats, bool) {
+	s.finalMu.Lock()
+	defer s.finalMu.Unlock()
+	return s.final, s.finalOK
+}
+
+// Handler returns the full HTTP handler with per-request panic isolation.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				// The panic stays confined to this request; the engine
+				// and every other connection keep running. If the
+				// response was already partly written this is a no-op
+				// and the connection just closes.
+				s.panics.Add(1)
+				http.Error(w, fmt.Sprintf("internal error: %v", p), http.StatusInternalServerError)
+			}
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Serve runs the engine and the HTTP server on ln until ctx is cancelled
+// or the engine fails, then shuts down gracefully: refuse new work, drain
+// or wound in-flight transactions, stop the listener, stop the engine.
+// A cancellation-initiated shutdown returns nil; an engine failure returns
+// its error.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	runCtx, cancelRun := context.WithCancel(context.Background())
+	defer cancelRun()
+	svcDone := make(chan error, 1)
+	go func() { svcDone <- s.svc.Run(runCtx) }()
+
+	hs := &http.Server{
+		Handler:      s.Handler(),
+		ReadTimeout:  s.opts.ReadTimeout,
+		WriteTimeout: s.opts.WriteTimeout,
+	}
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- hs.Serve(ln) }()
+
+	var failure error
+	select {
+	case <-ctx.Done():
+	case err := <-svcDone:
+		svcDone = nil
+		failure = fmt.Errorf("server: engine stopped: %w", err)
+	case err := <-httpDone:
+		httpDone = nil
+		failure = fmt.Errorf("server: listener failed: %w", err)
+	}
+
+	// Graceful drain. Order matters: Drain first flips the service to
+	// refusing submissions (503s for anyone still connected) and then
+	// finishes or wounds the in-flight transactions, which unblocks their
+	// handlers; Shutdown then closes the listener and waits out the
+	// (now fast) active requests; only then does the engine driver stop.
+	dctx, dcancel := context.WithTimeout(context.Background(), s.opts.DrainTimeout)
+	defer dcancel()
+	_ = s.svc.Drain(dctx)
+	// Flush a last metrics snapshot while the driver can still answer, so
+	// the operator sees the final counters even after the engine stops.
+	if st, ok := s.svc.Stats(); ok {
+		s.finalMu.Lock()
+		s.final, s.finalOK = st, true
+		s.finalMu.Unlock()
+	}
+	_ = hs.Shutdown(dctx)
+	cancelRun()
+	if svcDone != nil {
+		<-svcDone
+	}
+	if httpDone != nil {
+		<-httpDone
+	}
+	return failure
+}
+
+// --- request/response codec ---------------------------------------------
+
+// jsonDuration accepts a Go duration string ("40ms") or a bare number of
+// milliseconds, and marshals to the string form so round-trips are exact.
+type jsonDuration time.Duration
+
+func (d jsonDuration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+func (d *jsonDuration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return err
+		}
+		*d = jsonDuration(v)
+		return nil
+	}
+	var ms float64
+	if err := json.Unmarshal(b, &ms); err != nil {
+		return err
+	}
+	*d = jsonDuration(ms * float64(time.Millisecond))
+	return nil
+}
+
+// SubmitRequest is the POST /submit body.
+type SubmitRequest struct {
+	// Items is the ordered data-item access list.
+	Items []int `json:"items"`
+	// Reads optionally flags shared-lock accesses, per item.
+	Reads []bool `json:"reads,omitempty"`
+	// NeedsIO optionally flags disk accesses, per item.
+	NeedsIO []bool `json:"needs_io,omitempty"`
+	// Compute is the CPU time per item ("1ms" or bare milliseconds).
+	Compute jsonDuration `json:"compute"`
+	// Deadline is the client's deadline relative to arrival.
+	Deadline jsonDuration `json:"deadline"`
+	// Criticality and Class carry the workload extensions.
+	Criticality int `json:"criticality,omitempty"`
+	Class       int `json:"class,omitempty"`
+}
+
+// SubmitResponse is the POST /submit reply.
+type SubmitResponse struct {
+	// State is the terminal state: "committed", "dropped" or "rejected".
+	State string `json:"state"`
+	// Missed reports a deadline miss (late commit, drop or rejection).
+	Missed bool `json:"missed"`
+	// Engine-clock timings, milliseconds.
+	ArrivalMs  float64 `json:"arrival_ms"`
+	FinishMs   float64 `json:"finish_ms,omitempty"`
+	DeadlineMs float64 `json:"deadline_ms"`
+	ResponseMs float64 `json:"response_ms,omitempty"`
+	// Restarts is how many times the transaction was wounded and re-run.
+	Restarts int `json:"restarts"`
+	// Error carries a human-readable refusal reason (shed, draining).
+	Error string `json:"error,omitempty"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// --- handlers ------------------------------------------------------------
+
+func (s *Server) shedResponse(w http.ResponseWriter, reason string) {
+	s.shed.Add(1)
+	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	_ = json.NewEncoder(w).Encode(SubmitResponse{State: "shed", Missed: true, Error: reason})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	// Bounded accept queue: past MaxInflight concurrent submissions the
+	// server sheds immediately instead of stacking goroutines behind an
+	// overloaded engine.
+	select {
+	case s.inflight <- struct{}{}:
+		defer func() { <-s.inflight }()
+	default:
+		s.shedResponse(w, "server at capacity")
+		return
+	}
+
+	var req SubmitRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.badReqs.Add(1)
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	items := make([]txn.Item, len(req.Items))
+	for i, it := range req.Items {
+		items[i] = txn.Item(it)
+	}
+	creq := core.ServiceRequest{
+		Items:       items,
+		Reads:       req.Reads,
+		NeedsIO:     req.NeedsIO,
+		Compute:     time.Duration(req.Compute),
+		Deadline:    time.Duration(req.Deadline),
+		Criticality: req.Criticality,
+		Class:       req.Class,
+	}
+
+	start := time.Now()
+	// r.Context() is cancelled when the client disconnects; Submit then
+	// wounds the transaction so abandoned work stops consuming CPU.
+	o, err := s.svc.Submit(r.Context(), creq)
+	switch {
+	case err == nil:
+	case errors.Is(err, core.ErrDraining):
+		s.shedResponse(w, "draining")
+		return
+	case errors.Is(err, core.ErrServiceStopped):
+		s.shedResponse(w, "service stopped")
+		return
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// Client gone; the transaction was wounded. Nobody is reading the
+		// response, but write a coherent one for proxies that still are.
+		w.WriteHeader(http.StatusServiceUnavailable)
+		return
+	default:
+		s.badReqs.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.accepted.Add(1)
+
+	resp := SubmitResponse{
+		State:      o.State.String(),
+		Missed:     o.Missed,
+		ArrivalMs:  ms(o.Arrival),
+		DeadlineMs: ms(o.Deadline),
+		Restarts:   o.Restarts,
+	}
+	status := http.StatusOK
+	switch o.State {
+	case core.StateCommitted:
+		resp.FinishMs = ms(o.Finish)
+		resp.ResponseMs = ms(o.Response)
+		s.observeResponse(time.Since(start))
+	case core.StateRejected:
+		// Load shed by the engine's admission controller: the deadline
+		// was infeasible given the backlog. Fast 503, try again later.
+		s.rejected.Add(1)
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	default: // dropped (drain wound)
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// MetricsResponse is the GET /metrics body.
+type MetricsResponse struct {
+	// Engine is the service's run counters, or null once stopped.
+	Engine any `json:"engine"`
+	// Live is the number of admitted, unfinished transactions.
+	Live int `json:"live"`
+	// NowMs is the engine clock, milliseconds.
+	NowMs float64 `json:"now_ms"`
+	// Draining reports graceful drain in progress.
+	Draining bool `json:"draining"`
+	// HTTP-level counters.
+	Accepted int64 `json:"http_accepted"`
+	Shed     int64 `json:"http_shed"`
+	Rejected int64 `json:"http_rejected"`
+	BadReqs  int64 `json:"http_bad_requests"`
+	Panics   int64 `json:"http_panics"`
+	Inflight int   `json:"http_inflight"`
+	// Wall-clock response-time percentiles over the recent window, ms.
+	P50ResponseMs float64 `json:"p50_response_ms"`
+	P95ResponseMs float64 `json:"p95_response_ms"`
+	P99ResponseMs float64 `json:"p99_response_ms"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	resp := MetricsResponse{
+		Draining: s.svc.Draining(),
+		Accepted: s.accepted.Load(),
+		Shed:     s.shed.Load(),
+		Rejected: s.rejected.Load(),
+		BadReqs:  s.badReqs.Load(),
+		Panics:   s.panics.Load(),
+		Inflight: len(s.inflight),
+	}
+	if st, ok := s.svc.Stats(); ok {
+		resp.Engine = st.Result
+		resp.Live = st.Live
+		resp.NowMs = ms(st.Now)
+	}
+	resp.P50ResponseMs, resp.P95ResponseMs, resp.P99ResponseMs = s.responsePercentiles()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if err := s.svc.Err(); err != nil {
+		// An engine failure or a violated paper invariant (live oracle):
+		// the server is no longer trustworthy and says so.
+		http.Error(w, "unhealthy: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok draining="+strconv.FormatBool(s.svc.Draining()))
+}
+
+// observeResponse records one completed submission's wall response time.
+func (s *Server) observeResponse(d time.Duration) {
+	v := ms(d)
+	s.respMu.Lock()
+	if len(s.respSamples) >= respWindow {
+		s.respSamples[s.respIdx] = v
+		s.respIdx = (s.respIdx + 1) % respWindow
+	} else {
+		s.respSamples = append(s.respSamples, v)
+	}
+	s.respMu.Unlock()
+}
+
+func (s *Server) responsePercentiles() (p50, p95, p99 float64) {
+	s.respMu.Lock()
+	sorted := append([]float64(nil), s.respSamples...)
+	s.respMu.Unlock()
+	if len(sorted) == 0 {
+		return 0, 0, 0
+	}
+	sort.Float64s(sorted)
+	at := func(p float64) float64 {
+		i := int(p / 100 * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return at(50), at(95), at(99)
+}

@@ -122,6 +122,16 @@ func (s *Simulator) Executed() uint64 { return s.executed }
 // Pending returns the number of events still scheduled.
 func (s *Simulator) Pending() int { return len(s.calendar) }
 
+// NextAt returns the firing time of the earliest pending event. ok is false
+// when the calendar is empty. It is the peek a clock driver needs to decide
+// how long to sleep before the next Step.
+func (s *Simulator) NextAt() (t Time, ok bool) {
+	if len(s.calendar) == 0 {
+		return 0, false
+	}
+	return s.calendar[0].at, true
+}
+
 // FreeListLen returns the number of recycled records currently available
 // for reuse (0 for an unpooled simulator); exposed for tests.
 func (s *Simulator) FreeListLen() int { return len(s.free) }
