@@ -64,6 +64,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		writeTO     = fs.Duration("write-timeout", 15*time.Second, "HTTP write timeout (slow-client guard)")
 		speed       = fs.Float64("speed", 1, "simulated seconds per wall second (>1 compresses engine time; for demos and tests)")
 		oracle      = fs.Bool("oracle", false, "run under the live safety oracle: a violated paper invariant fails /healthz and stops the service")
+		shards      = fs.Int("shards", 1, "engine shards (item i lives on shard i%N); single-shard submissions route directly, cross-shard ones batch at epoch boundaries")
+		epoch       = fs.Duration("epoch", 0, "cross-shard epoch interval in simulated time (0 = default; only with -shards > 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -93,6 +95,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	srv, err := server.New(server.Options{
 		Core:         cfg,
 		Service:      core.ServiceOptions{Speed: *speed, Oracle: *oracle},
+		Shards:       *shards,
+		Epoch:        *epoch,
 		MaxInflight:  *maxInflight,
 		DrainTimeout: *drain,
 		ReadTimeout:  *readTO,

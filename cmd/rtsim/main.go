@@ -25,6 +25,7 @@ import (
 	"syscall"
 
 	"repro"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -59,6 +60,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		watchdog  = fs.Int("watchdog", 0, "watchdog budget: max same-instant events before declaring a stall (0 = default, <0 = off)")
 		admission = fs.String("admission", "", "admission mode: reject-newest or reject-infeasible (empty = admit all)")
 		admMax    = fs.Int("admission-max", 0, "live-set cap for the admission controller (required for reject-newest)")
+		shardsN   = fs.Int("shards", 1, "engine shards (item i on shard i%N) with deterministic cross-shard epochs (extension)")
+		epochIv   = fs.Duration("epoch", 0, "cross-shard epoch interval in simulated time (0 = default; with -shards > 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -153,6 +156,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	if *shardsN > 1 && *trace {
+		fmt.Fprintln(stderr, "rtsim: -trace is per-engine; use it with -shards 1")
+		return 2
+	}
+
 	if *trace {
 		e, err := rtdbs.New(cfg)
 		if err != nil {
@@ -190,21 +198,51 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		c := cfg
 		c.Seed = s
-		e, err := rtdbs.New(c)
-		if err != nil {
-			fmt.Fprintf(stderr, "rtsim: seed %d: %v\n", s, err)
-			return 1
-		}
-		if *oracle {
-			e.EnableOracle()
-		}
-		res, err := e.Run()
-		if err != nil {
-			fmt.Fprintf(stderr, "rtsim: seed %d: %v\n", s, err)
-			return 1
-		}
-		if *verbose {
-			fmt.Fprintf(stdout, "seed %-3d %s\n", s, res)
+		var res rtdbs.Result
+		if *shardsN > 1 {
+			wl, err := rtdbs.GenerateWorkload(c.Workload, s)
+			if err != nil {
+				fmt.Fprintf(stderr, "rtsim: seed %d: %v\n", s, err)
+				return 1
+			}
+			r, err := shard.New(c, wl, shard.Options{Shards: *shardsN, Epoch: *epochIv})
+			if err != nil {
+				fmt.Fprintf(stderr, "rtsim: seed %d: %v\n", s, err)
+				return 1
+			}
+			if *oracle {
+				for _, e := range r.Engines() {
+					e.EnableOracle()
+				}
+			}
+			sres, err := r.Run()
+			if err != nil {
+				fmt.Fprintf(stderr, "rtsim: seed %d: %v\n", s, err)
+				return 1
+			}
+			res = sres.Metrics
+			if *verbose {
+				fmt.Fprintf(stdout, "seed %-3d %s\n", s, res)
+				fmt.Fprintf(stdout, "         cross: %d total, %d committed, %d missed, %d partial, %d epochs\n",
+					sres.Cross.Total, sres.Cross.Committed, sres.Cross.Missed, sres.Cross.Partial, sres.Epochs)
+			}
+		} else {
+			e, err := rtdbs.New(c)
+			if err != nil {
+				fmt.Fprintf(stderr, "rtsim: seed %d: %v\n", s, err)
+				return 1
+			}
+			if *oracle {
+				e.EnableOracle()
+			}
+			res, err = e.Run()
+			if err != nil {
+				fmt.Fprintf(stderr, "rtsim: seed %d: %v\n", s, err)
+				return 1
+			}
+			if *verbose {
+				fmt.Fprintf(stdout, "seed %-3d %s\n", s, res)
+			}
 		}
 		agg.Add(res)
 		completed++

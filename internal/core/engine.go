@@ -62,6 +62,17 @@ type Engine struct {
 	// freeIDs holds retired transaction IDs for reuse (wall-clock service
 	// mode only; simulation runs never retire IDs).
 	freeIDs []int
+	// idsPinned latches recycling off for the engine's lifetime: set the
+	// moment any consumer that keys state by transaction ID attaches (the
+	// history/oracle, a trace recorder). A latch — not a live check against
+	// e.hist/e.rec — so detaching the recorder later cannot silently
+	// re-enable reuse of IDs the consumer already indexed.
+	idsPinned bool
+	// idRecycled records that some retired ID was actually reused; once
+	// true, attaching an ID-keyed consumer is an error caught by
+	// EnableOracle/SetRecorder (their theorems and event streams assume
+	// stable IDs).
+	idRecycled bool
 
 	// Incremental dispatch state (unused when Config.NaiveDispatch keeps
 	// the original re-sort-everything pass):
@@ -101,6 +112,13 @@ type Engine struct {
 	hasReads  bool // any shared-lock accesses in the workload
 	run       metrics.Run
 	lastNote  sim.Time
+
+	// Stepped-run state (StartRun/StepTo/FinishRun): the stall watchdog's
+	// counters live on the engine so a same-instant burst split across two
+	// StepTo calls (an epoch boundary landing mid-instant) is still caught.
+	runStarted   bool
+	wdStallAt    sim.Time
+	wdStallCount int
 
 	inReschedule    bool
 	rescheduleAgain bool
@@ -142,6 +160,25 @@ func NewWithWorkload(cfg Config, wl *workload.Workload) (*Engine, error) {
 	}
 	if wl == nil || len(wl.Txns) == 0 {
 		return nil, fmt.Errorf("core: empty workload")
+	}
+	return newEngine(cfg, wl)
+}
+
+// NewShardEngine is NewWithWorkload for a caller-partitioned shard slice,
+// which may be empty: a shard whose only work arrives dynamically (via
+// SubmitSpec at epoch boundaries) still needs a fully constructed kernel.
+// Everything else — validation, fast paths, fault injection — is identical
+// to NewWithWorkload.
+func NewShardEngine(cfg Config, wl *workload.Workload) (*Engine, error) {
+	if wl == nil {
+		wl = &workload.Workload{Params: cfg.Workload}
+	}
+	return newEngine(cfg, wl)
+}
+
+func newEngine(cfg Config, wl *workload.Workload) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	for i := range wl.Txns {
 		s := &wl.Txns[i]
@@ -265,8 +302,20 @@ func NewWithWorkload(cfg Config, wl *workload.Workload) (*Engine, error) {
 // SetTrace installs a human-readable trace sink (nil disables tracing).
 func (e *Engine) SetTrace(fn func(format string, args ...any)) { e.trace = fn }
 
-// SetRecorder installs a structured event recorder (nil disables).
-func (e *Engine) SetRecorder(r trace.Recorder) { e.rec = r }
+// SetRecorder installs a structured event recorder (nil disables). The
+// recorder keys events by transaction ID, so attaching one pins IDs for the
+// engine's lifetime; attaching after an ID has already been recycled
+// (wall-clock service mode) panics — the stream would conflate distinct
+// transactions that shared an ID.
+func (e *Engine) SetRecorder(r trace.Recorder) {
+	if r != nil {
+		if e.idRecycled {
+			panic("core: SetRecorder after transaction IDs were recycled; attach the recorder before submissions (IDs are no longer unique)")
+		}
+		e.idsPinned = true
+	}
+	e.rec = r
+}
 
 // InjectEvent feeds a forged trace event through the engine's observers
 // (oracle and recorder). It exists for fault-injection tooling: forging a
@@ -310,10 +359,57 @@ func (e *Engine) Txns() []*Txn { return e.all }
 // violation — the latter two fail fast, at the offending event, instead of
 // spinning to the guard.
 func (e *Engine) Run() (metrics.Result, error) {
+	e.StartRun()
+	if err := e.stepEvents(0, false); err != nil {
+		return metrics.Result{}, err
+	}
+	return e.FinishRun()
+}
+
+// StartRun schedules every workload arrival on the calendar. It must be
+// called exactly once, before any StepTo; Run calls it internally. The
+// shard runner calls it per shard and then interleaves StepTo with
+// cross-shard SubmitSpec injections at epoch boundaries.
+func (e *Engine) StartRun() {
+	if e.runStarted {
+		panic("core: StartRun called twice")
+	}
+	e.runStarted = true
 	for _, t := range e.all {
 		t := t
 		e.sim.At(sim.Time(t.Spec.Arrival), func() { e.onArrival(t) })
 	}
+}
+
+// StepTo fires every calendar event due at or before t — with the same
+// event guard, oracle fail-fast and stall watchdog Run applies — and then
+// advances the simulated clock to exactly t. Splitting a run into StepTo
+// segments fires the identical event sequence a single Run does: the
+// boundaries only partition it, they never reorder or perturb it (the
+// shard equivalence suite asserts bit identity for N=1).
+func (e *Engine) StepTo(t sim.Time) error {
+	if !e.runStarted {
+		panic("core: StepTo before StartRun")
+	}
+	return e.stepEvents(t, true)
+}
+
+// Done reports whether every transaction (workload plus injected) has
+// reached a terminal state.
+func (e *Engine) Done() bool {
+	return e.committed+e.dropped+e.rejected == len(e.all)
+}
+
+// RunSnapshot returns a deep copy of the run counters accumulated so far,
+// for cross-shard merging (metrics.MergeRuns).
+func (e *Engine) RunSnapshot() metrics.Run { return e.run.Clone() }
+
+// stepEvents is the run loop shared by Run (unbounded) and StepTo
+// (bounded): fire events — all of them, or those due at or before bound —
+// under the event guard, the oracle fail-fast and the stall watchdog. The
+// guard and watchdog budget are derived from the current transaction count
+// so injected transactions scale them exactly as workload ones do.
+func (e *Engine) stepEvents(bound sim.Time, bounded bool) error {
 	guard := e.cfg.maxEvents(len(e.all))
 	budget := e.cfg.WatchdogBudget
 	if budget == 0 {
@@ -321,22 +417,40 @@ func (e *Engine) Run() (metrics.Result, error) {
 		// (every live transaction can transition a few times per instant).
 		budget = 16*len(e.all) + 1024
 	}
-	var (
-		stallAt    sim.Time
-		stallCount int
-	)
-	for e.sim.Executed() < guard && e.sim.Step() {
+	for e.sim.Executed() < guard {
+		if bounded {
+			if next, ok := e.sim.NextAt(); !ok || next > bound {
+				break
+			}
+		}
+		if !e.sim.Step() {
+			break
+		}
 		if e.oracle != nil && e.oracle.err != nil {
-			return metrics.Result{}, fmt.Errorf("core: oracle: %w", e.oracle.err)
+			return fmt.Errorf("core: oracle: %w", e.oracle.err)
 		}
 		if budget > 0 {
-			if now := e.sim.Now(); now != stallAt {
-				stallAt, stallCount = now, 0
-			} else if stallCount++; stallCount > budget {
-				return metrics.Result{}, fmt.Errorf("core: watchdog: %s", e.stallDump(budget))
+			if now := e.sim.Now(); now != e.wdStallAt {
+				e.wdStallAt, e.wdStallCount = now, 0
+			} else if e.wdStallCount++; e.wdStallCount > budget {
+				return fmt.Errorf("core: watchdog: %s", e.stallDump(budget))
 			}
 		}
 	}
+	if bounded && bound > e.sim.Now() {
+		// No events remain at or before bound; RunUntil only advances the
+		// clock (the P-list/live-area integrals are unaffected — they
+		// integrate from lastNote inside event handlers).
+		e.sim.RunUntil(bound)
+	}
+	return nil
+}
+
+// FinishRun completes a stepped run: it verifies every transaction
+// finished, drains the disks, runs the oracle's final checks, verifies the
+// store and returns the run metrics. Run calls it internally; the shard
+// runner calls it once per shard after the epoch loop terminates.
+func (e *Engine) FinishRun() (metrics.Result, error) {
 	if e.committed+e.dropped+e.rejected != len(e.all) {
 		return metrics.Result{}, fmt.Errorf("core: %d/%d transactions finished after %d events (engine stall or guard too low)",
 			e.committed+e.dropped+e.rejected, len(e.all), e.sim.Executed())
@@ -357,6 +471,23 @@ func (e *Engine) Run() (metrics.Result, error) {
 	}
 	e.store.CheckClean()
 	return e.run.Result(), nil
+}
+
+// SubmitSpec injects a dynamically arriving transaction at the current
+// simulated instant — the shard runner's cross-shard hook: at an epoch
+// boundary every participant shard receives its sub-transaction through
+// here, in canonical order. spec.Arrival must equal the engine's current
+// clock and spec.Deadline is absolute (under FirmDeadlines it must not be
+// in the past, or the deadline event would be unschedulable). done, when
+// non-nil, fires once when the transaction reaches a terminal state; it
+// runs inside the engine's event processing and must not block.
+func (e *Engine) SubmitSpec(spec *workload.Spec, done func(*Txn)) *Txn {
+	if got, now := spec.Arrival, time.Duration(e.sim.Now()); got != now {
+		panic(fmt.Sprintf("core: SubmitSpec arrival %v != engine clock %v", got, now))
+	}
+	t := e.addServiceTxn(spec, done)
+	e.onArrival(t)
+	return t
 }
 
 // stallDump renders the watchdog's diagnostic: where the calendar stuck
@@ -394,6 +525,25 @@ func (e *Engine) diskFor(it txn.Item) *disk.Disk {
 
 // Store returns the database store (for inspection after Run).
 func (e *Engine) Store() *db.Store { return e.store }
+
+// PendingEvents returns the number of scheduled calendar events. The shard
+// runner uses it for stall detection: an engine with live transactions but
+// an empty calendar (and no future cross-shard input) can never finish.
+func (e *Engine) PendingEvents() int { return e.sim.Pending() }
+
+// TxnOutcomes returns every transaction's outcome in engine-ID order — the
+// shard runner's bridge from shard-local transactions back to logical ones.
+// Meaningful once the run has finished; recycled slots (wall-clock service
+// only) are zero entries.
+func (e *Engine) TxnOutcomes() []ServiceOutcome {
+	out := make([]ServiceOutcome, len(e.all))
+	for i, t := range e.all {
+		if t != nil {
+			out[i] = outcomeOf(t)
+		}
+	}
+	return out
+}
 
 // History returns the recorded operation history, or nil when
 // Config.RecordHistory is false.

@@ -43,10 +43,21 @@ type Oracle struct {
 // returns it. History recording is switched on if it was not already —
 // the serializability checks need it. Must be called before Run; calling
 // it twice returns the same oracle.
+//
+// The oracle's checks key state by transaction ID, so enabling it pins IDs
+// for the engine's lifetime (the wall-clock service then grows its tables
+// instead of recycling). Enabling it after an ID has already been recycled
+// panics — fail fast, because the history would conflate distinct
+// transactions that shared an ID and every theorem the oracle checks
+// assumes stable IDs. Attach the oracle before the first submission.
 func (e *Engine) EnableOracle() *Oracle {
 	if e.oracle != nil {
 		return e.oracle
 	}
+	if e.idRecycled {
+		panic("core: EnableOracle after transaction IDs were recycled; enable the oracle before submissions (IDs are no longer unique)")
+	}
+	e.idsPinned = true
 	if e.hist == nil {
 		e.hist = history.New()
 	}

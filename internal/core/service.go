@@ -404,6 +404,36 @@ func (s *Service) Stats() (ServiceStats, bool) {
 	}
 }
 
+// RunSnapshot is Stats in mergeable form: a deep copy of the raw run
+// counters rather than the computed Result, so a sharded service can fold
+// its shards together with metrics.MergeRuns before computing one
+// system-wide Result (averaging per-shard Results would bias every ratio;
+// merging the counters is exact). ok=false once the service has stopped.
+func (s *Service) RunSnapshot() (run metrics.Run, live int, now time.Duration, ok bool) {
+	type snap struct {
+		run  metrics.Run
+		live int
+		now  time.Duration
+	}
+	ch := make(chan snap, 1)
+	if err := s.rt.Call(func() {
+		ch <- snap{run: s.e.run.Clone(), live: len(s.e.live), now: time.Duration(s.e.sim.Now())}
+	}); err != nil {
+		return metrics.Run{}, 0, 0, false
+	}
+	select {
+	case sn := <-ch:
+		return sn.run, sn.live, sn.now, true
+	case <-s.stopCh:
+		return metrics.Run{}, 0, 0, false
+	}
+}
+
+// Outcome converts a terminal transaction into its submission outcome —
+// the exported form of the service's internal conversion, for the shard
+// runner's cross-shard completion callbacks.
+func (t *Txn) Outcome() ServiceOutcome { return outcomeOf(t) }
+
 // outcomeOf converts a terminal transaction into its submission outcome.
 func outcomeOf(t *Txn) ServiceOutcome {
 	o := ServiceOutcome{
@@ -433,12 +463,15 @@ func outcomeOf(t *Txn) ServiceOutcome {
 func (e *Engine) addServiceTxn(spec *workload.Spec, done func(*Txn)) *Txn {
 	// Recycling is safe only when nothing identifies transactions across
 	// time: the history (and so the oracle's serializability checks) and
-	// the trace recorder key operations by transaction ID.
-	recycle := e.hist == nil && e.rec == nil
+	// the trace recorder key operations by transaction ID. idsPinned is the
+	// lifetime latch — once any such consumer has ever attached, IDs stay
+	// stable even if the consumer is later detached.
+	recycle := !e.idsPinned && e.hist == nil && e.rec == nil
 	id := -1
 	if recycle && len(e.freeIDs) > 0 {
 		id = e.freeIDs[len(e.freeIDs)-1]
 		e.freeIDs = e.freeIDs[:len(e.freeIDs)-1]
+		e.idRecycled = true
 	}
 	if id < 0 {
 		id = len(e.all)
@@ -491,7 +524,7 @@ func (e *Engine) addServiceTxn(spec *workload.Spec, done func(*Txn)) *Txn {
 // deadline event, a stale disk completion) hold the Txn object itself and
 // observe its terminal state; they never go through the freed slot.
 func (e *Engine) retireServiceTxn(t *Txn) {
-	if e.hist != nil || e.rec != nil {
+	if e.idsPinned || e.hist != nil || e.rec != nil {
 		return // IDs stay unique for the history/trace; tables grow instead
 	}
 	e.all[t.ID()] = nil

@@ -1,0 +1,123 @@
+package metrics
+
+// MergeRuns is how a sharded run becomes one system-wide Run. These tests
+// pin the tricky part: merging per-shard percentile rings after wraparound
+// without double-counting a sample and without per-shard ordering bias
+// (the merged window must be the most recent commits by commit instant,
+// not "all of shard 0 then all of shard 1").
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// obs records one commit with tardiness = finish (deadline 0), so every
+// sample value identifies its commit instant in milliseconds.
+func obs(r *Run, finishMs int) {
+	f := time.Duration(finishMs) * time.Millisecond
+	r.Observe(0, 0, f, 0)
+}
+
+func sampleValues(r *Run) []float64 {
+	var out []float64
+	for _, s := range r.orderedSamples() {
+		out = append(out, s.tardy)
+	}
+	return out
+}
+
+func TestMergeRunsRingWrapAndOrder(t *testing.T) {
+	a := &Run{SampleWindow: 4}
+	for _, ms := range []int{10, 20, 30, 40, 50} { // wraps: ring keeps 20..50
+		obs(a, ms)
+	}
+	if got, want := sampleValues(a), []float64{20, 30, 40, 50}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("ring after wrap = %v, want %v", got, want)
+	}
+	b := &Run{SampleWindow: 4}
+	for _, ms := range []int{15, 25, 35} { // no wrap
+		obs(b, ms)
+	}
+
+	m := MergeRuns(a, b)
+	// Union of retained samples is {20,30,40,50,15,25,35}; the merged
+	// window (4) must keep the most recent four by commit instant.
+	if got, want := sampleValues(&m), []float64{30, 35, 40, 50}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged ring = %v, want %v", got, want)
+	}
+	if m.Committed != a.Committed+b.Committed {
+		t.Fatalf("merged Committed = %d, want %d", m.Committed, a.Committed+b.Committed)
+	}
+	if m.Missed != 8 || m.TardinessSum != a.TardinessSum+b.TardinessSum {
+		t.Fatalf("merged miss counters wrong: %+v", m)
+	}
+	// The merged ring is a valid ring: a further Observe overwrites the
+	// oldest sample, not an arbitrary one.
+	obs(&m, 60)
+	if got, want := sampleValues(&m), []float64{35, 40, 50, 60}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("ring after post-merge observe = %v, want %v", got, want)
+	}
+}
+
+func TestMergeRunsUnboundedKeepsEverything(t *testing.T) {
+	a := &Run{} // SampleWindow 0: simulation mode, keep all samples
+	for _, ms := range []int{5, 30} {
+		obs(a, ms)
+	}
+	b := &Run{SampleWindow: 2}
+	for _, ms := range []int{10, 20, 40} { // wraps to {20, 40}
+		obs(b, ms)
+	}
+	m := MergeRuns(a, b)
+	if m.SampleWindow != 0 {
+		t.Fatalf("merged SampleWindow = %d, want 0 (unbounded)", m.SampleWindow)
+	}
+	if got, want := sampleValues(&m), []float64{5, 20, 30, 40}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged samples = %v, want %v", got, want)
+	}
+}
+
+func TestMergeRunsSingleIsIdentity(t *testing.T) {
+	r := &Run{SampleWindow: 3, CPUs: 1}
+	for _, ms := range []int{10, 20, 30, 40} {
+		obs(r, ms)
+	}
+	m := MergeRuns(r)
+	if !reflect.DeepEqual(m.Result(), r.Result()) {
+		t.Fatalf("MergeRuns of one run changed its Result:\n got %+v\nwant %+v", m.Result(), r.Result())
+	}
+}
+
+func TestMergeRunsClasses(t *testing.T) {
+	a, b := &Run{}, &Run{}
+	a.Observe(1, 0, 10*time.Millisecond, 0)
+	a.Observe(2, 0, 5*time.Millisecond, 20*time.Millisecond)
+	b.Observe(1, 0, 30*time.Millisecond, 0)
+	m := MergeRuns(a, b)
+	res := m.Result()
+	if len(res.Classes) != 2 {
+		t.Fatalf("merged classes = %+v, want 2 entries", res.Classes)
+	}
+	if res.Classes[0].Class != 1 || res.Classes[0].Committed != 2 {
+		t.Fatalf("class 1 = %+v, want 2 commits", res.Classes[0])
+	}
+	if res.Classes[1].Class != 2 || res.Classes[1].MissPercent != 0 {
+		t.Fatalf("class 2 = %+v, want 0%% miss", res.Classes[1])
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	r := &Run{SampleWindow: 2}
+	obs(r, 10)
+	r.Observe(3, 0, 5*time.Millisecond, 20*time.Millisecond)
+	c := r.Clone()
+	obs(r, 99)
+	r.classes[3].committed++
+	if got, want := sampleValues(&c), []float64{10, 0}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("clone samples mutated: %v, want %v", got, want)
+	}
+	if c.classes[3].committed != 1 {
+		t.Fatalf("clone classes mutated: %d commits, want 1", c.classes[3].committed)
+	}
+}

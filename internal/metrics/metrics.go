@@ -88,8 +88,12 @@ type Run struct {
 	SampleWindow int
 	// latenessSamples holds each commit's tardiness in ms, for the
 	// percentile metrics (a ring of the last SampleWindow commits when
-	// SampleWindow > 0, rotated at sampleIdx).
+	// SampleWindow > 0, rotated at sampleIdx). sampleTimes is the parallel
+	// ring of commit instants: the merge key that lets MergeRuns interleave
+	// several shards' rings in true commit order instead of concatenation
+	// order.
 	latenessSamples []float64
+	sampleTimes     []time.Duration
 	sampleIdx       int
 	// classes holds per-class commit counters (high-variance experiment).
 	classes map[int]*classCounts
@@ -127,10 +131,138 @@ func (r *Run) Observe(class int, arrival, finish, deadline time.Duration) {
 	}
 	if r.SampleWindow > 0 && len(r.latenessSamples) >= r.SampleWindow {
 		r.latenessSamples[r.sampleIdx] = tardy
+		r.sampleTimes[r.sampleIdx] = finish
 		r.sampleIdx = (r.sampleIdx + 1) % r.SampleWindow
 	} else {
 		r.latenessSamples = append(r.latenessSamples, tardy)
+		r.sampleTimes = append(r.sampleTimes, finish)
 	}
+}
+
+// sample pairs one ring entry's commit instant with its tardiness.
+type sample struct {
+	at    time.Duration
+	tardy float64
+}
+
+// orderedSamples unrolls the ring oldest-first. A full ring's oldest entry
+// sits at sampleIdx (the next overwrite position); a partial ring is already
+// in append order.
+func (r *Run) orderedSamples() []sample {
+	out := make([]sample, 0, len(r.latenessSamples))
+	emit := func(i int) { out = append(out, sample{at: r.sampleTimes[i], tardy: r.latenessSamples[i]}) }
+	if r.SampleWindow > 0 && len(r.latenessSamples) >= r.SampleWindow {
+		for i := r.sampleIdx; i < len(r.latenessSamples); i++ {
+			emit(i)
+		}
+		for i := 0; i < r.sampleIdx; i++ {
+			emit(i)
+		}
+		return out
+	}
+	for i := range r.latenessSamples {
+		emit(i)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the run counters: the sample rings and the
+// per-class map are fresh, so the copy can be read (or merged) off the
+// engine's goroutine while the original keeps accumulating.
+func (r *Run) Clone() Run {
+	c := *r
+	c.latenessSamples = append([]float64(nil), r.latenessSamples...)
+	c.sampleTimes = append([]time.Duration(nil), r.sampleTimes...)
+	if r.classes != nil {
+		c.classes = make(map[int]*classCounts, len(r.classes))
+		for k, v := range r.classes {
+			cv := *v
+			c.classes[k] = &cv
+		}
+	}
+	return c
+}
+
+// MergeRuns folds several shards' runs into one system-wide Run, as if a
+// single engine had observed every commit. Counters, busy times and areas
+// are summed; Elapsed is the max; CPUs and Disks add up. The percentile
+// sample rings are merged by commit instant — each ring is unrolled
+// oldest-first and merge-interleaved, then clipped to the most recent
+// SampleWindow entries — so no sample is counted twice and the merged
+// window has no per-shard ordering bias. (This is NOT what Aggregate does:
+// Aggregate averages derived Results across independent seeded runs, while
+// MergeRuns sums raw counters of concurrent shards of one run.)
+//
+// The merged SampleWindow is the largest shard window, or 0 (unbounded)
+// when any shard keeps every sample.
+func MergeRuns(runs ...*Run) Run {
+	var m Run
+	unbounded := false
+	all := make([]sample, 0)
+	for _, r := range runs {
+		m.Committed += r.Committed
+		m.Missed += r.Missed
+		m.Dropped += r.Dropped
+		m.Admitted += r.Admitted
+		m.Rejected += r.Rejected
+		m.RetriedIO += r.RetriedIO
+		m.FaultAborts += r.FaultAborts
+		m.TardinessSum += r.TardinessSum
+		m.LatenessSum += r.LatenessSum
+		m.ResponseSum += r.ResponseSum
+		m.Restarts += r.Restarts
+		m.NoncontributingAborts += r.NoncontributingAborts
+		m.WastedService += r.WastedService
+		m.RollbackTime += r.RollbackTime
+		m.LockWaits += r.LockWaits
+		m.Deadlocks += r.Deadlocks
+		m.CPUBusy += r.CPUBusy
+		m.DiskBusy += r.DiskBusy
+		m.CPUs += r.CPUs
+		m.Disks += r.Disks
+		m.PListArea += r.PListArea
+		m.LiveArea += r.LiveArea
+		if r.Elapsed > m.Elapsed {
+			m.Elapsed = r.Elapsed
+		}
+		if r.SampleWindow == 0 {
+			unbounded = true
+		} else if r.SampleWindow > m.SampleWindow {
+			m.SampleWindow = r.SampleWindow
+		}
+		all = append(all, r.orderedSamples()...)
+		for k, v := range r.classes {
+			if m.classes == nil {
+				m.classes = make(map[int]*classCounts)
+			}
+			mc := m.classes[k]
+			if mc == nil {
+				mc = &classCounts{}
+				m.classes[k] = mc
+			}
+			mc.committed += v.committed
+			mc.missed += v.missed
+			mc.tardinessSum += v.tardinessSum
+		}
+	}
+	if unbounded {
+		m.SampleWindow = 0
+	}
+	// Chronological interleave; the stable sort keeps each shard's internal
+	// order (and argument order across shards) for equal instants, so the
+	// merge is deterministic.
+	sort.SliceStable(all, func(i, j int) bool { return all[i].at < all[j].at })
+	if m.SampleWindow > 0 && len(all) > m.SampleWindow {
+		all = all[len(all)-m.SampleWindow:]
+	}
+	m.latenessSamples = make([]float64, len(all))
+	m.sampleTimes = make([]time.Duration, len(all))
+	for i, s := range all {
+		m.latenessSamples[i] = s.tardy
+		m.sampleTimes[i] = s.at
+	}
+	m.sampleIdx = 0
+	return m
 }
 
 // percentile returns the p-th percentile (0..100) of sorted samples by
@@ -272,7 +404,13 @@ func (r Result) String() string {
 		r.MissPercent, r.MeanLatenessMs, r.RestartsPerTxn, 100*r.CPUUtilization, 100*r.DiskUtilization)
 }
 
-// Aggregate accumulates Results across seeds.
+// Aggregate accumulates Results across seeds: each Add is one independent
+// run and Summary reports across-run means. It must NOT be used to combine
+// the shards of a single sharded run — shard counters are partial counts of
+// one system, not independent samples, and averaging their percentile
+// fields would double-weight quiet shards. Combine shards with MergeRuns
+// (which sums raw counters and merges the sample rings by commit instant)
+// and Add the merged run's Result here.
 type Aggregate struct {
 	Committed       stats.Accumulator
 	Dropped         stats.Accumulator

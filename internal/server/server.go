@@ -33,8 +33,23 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/shard"
+	"repro/internal/trace"
 	"repro/internal/txn"
 )
+
+// Service is the server's view of a wall-clock transaction service. Both
+// core.Service (one engine) and shard.Service (N engine shards behind a
+// router) satisfy it; the server is agnostic to which is behind it.
+type Service interface {
+	Run(ctx context.Context) error
+	Submit(ctx context.Context, req core.ServiceRequest) (core.ServiceOutcome, error)
+	Drain(ctx context.Context) error
+	Stats() (core.ServiceStats, bool)
+	InjectEvent(ev trace.Event) error
+	Err() error
+	Draining() bool
+}
 
 // Options configure the server.
 type Options struct {
@@ -46,6 +61,14 @@ type Options struct {
 	// Service tunes the wall-clock service (speed for tests, sample
 	// window, live oracle).
 	Service core.ServiceOptions
+	// Shards partitions the item space across N engine shards (item i →
+	// shard i % N): single-shard submissions route directly to their
+	// shard, cross-shard ones batch at epoch boundaries (see
+	// internal/shard). 0 or 1 runs the classic single-engine service.
+	Shards int
+	// Epoch is the cross-shard batching interval in simulated time
+	// (0 = shard.DefaultEpoch). Ignored unless Shards > 1.
+	Epoch time.Duration
 	// MaxInflight bounds concurrently admitted HTTP submissions; past the
 	// bound the server sheds with a fast 503 (default 256).
 	MaxInflight int
@@ -76,13 +99,23 @@ func (o *Options) fillDefaults() {
 // respWindow is the ring size for server-side response-time percentiles.
 const respWindow = 4096
 
-// Server is the HTTP front-end over one core.Service.
+// Server is the HTTP front-end over one transaction Service (single
+// engine or sharded).
 type Server struct {
 	opts Options
-	svc  *core.Service
+	svc  Service
 	mux  *http.ServeMux
 
 	inflight chan struct{}
+
+	// statsMu caches the service stats snapshot for retry-after
+	// derivation: under overload every shed consults the load estimate,
+	// and hammering the driver goroutine with Stats calls would make the
+	// overload worse.
+	statsMu sync.Mutex
+	statsAt time.Time
+	stats   core.ServiceStats
+	statsOK bool
 
 	// Request counters (also rendered by /metrics).
 	accepted atomic.Int64 // submissions that reached the engine
@@ -100,10 +133,23 @@ type Server struct {
 	finalOK bool
 }
 
-// New builds the server and its engine.
+// New builds the server and its engine(s): one core.Service, or a
+// shard.Service when Options.Shards > 1.
 func New(opts Options) (*Server, error) {
 	opts.fillDefaults()
-	svc, err := core.NewService(opts.Core, opts.Service)
+	var (
+		svc Service
+		err error
+	)
+	if opts.Shards > 1 {
+		svc, err = shard.NewService(opts.Core, shard.ServiceOptions{
+			Shards: opts.Shards,
+			Epoch:  opts.Epoch,
+			Core:   opts.Service,
+		})
+	} else {
+		svc, err = core.NewService(opts.Core, opts.Service)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -126,7 +172,7 @@ func New(opts Options) (*Server, error) {
 }
 
 // Service returns the underlying wall-clock service (tests, direct use).
-func (s *Server) Service() *core.Service { return s.svc }
+func (s *Server) Service() Service { return s.svc }
 
 // Final returns the metrics snapshot flushed during shutdown, once Serve
 // has returned. It reports false if Serve never drained (engine died
@@ -279,9 +325,72 @@ func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 
 // --- handlers ------------------------------------------------------------
 
+// statsCacheTTL bounds how stale the retry-after load estimate may be.
+const statsCacheTTL = 250 * time.Millisecond
+
+// cachedStats returns a recent service stats snapshot, refreshing it at
+// most once per statsCacheTTL.
+func (s *Server) cachedStats() (core.ServiceStats, bool) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	if time.Since(s.statsAt) < statsCacheTTL {
+		return s.stats, s.statsOK
+	}
+	s.stats, s.statsOK = s.svc.Stats()
+	s.statsAt = time.Now()
+	return s.stats, s.statsOK
+}
+
+// retryAfterSecs derives the Retry-After value for a 503 from the
+// admission state instead of a hardcoded "1": the estimated wall-clock
+// time to drain the current live set at the service's capacity, clamped
+// to [1, 30] seconds. An idle or unreadable service answers 1 — retry
+// immediately — while a deep backlog tells clients to stay away long
+// enough for the estimate to actually change.
+func (s *Server) retryAfterSecs() string {
+	st, ok := s.cachedStats()
+	if !ok || st.Live == 0 {
+		return "1"
+	}
+	p := s.opts.Core.Workload
+	// Mean per-transaction resource demand (sim time): updates × (compute
+	// + expected disk time per update).
+	compute := p.ComputePerUpdate
+	if len(p.Classes) > 0 {
+		var mean float64
+		for _, c := range p.Classes {
+			mean += c.Fraction * float64(c.ComputePerUpdate)
+		}
+		compute = time.Duration(mean)
+	}
+	perTxn := time.Duration(p.UpdatesMean * (float64(compute) + p.DiskAccessProb*float64(p.DiskAccessTime)))
+	cpus := s.opts.Core.NumCPUs
+	if cpus <= 0 {
+		cpus = 1
+	}
+	shards := s.opts.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	speed := s.opts.Service.Speed
+	if speed <= 0 {
+		speed = 1
+	}
+	drainSim := time.Duration(float64(st.Live) * float64(perTxn) / float64(cpus*shards))
+	drainWall := time.Duration(float64(drainSim) / speed)
+	secs := int((drainWall + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return strconv.Itoa(secs)
+}
+
 func (s *Server) shedResponse(w http.ResponseWriter, reason string) {
 	s.shed.Add(1)
-	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Retry-After", s.retryAfterSecs())
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusServiceUnavailable)
 	_ = json.NewEncoder(w).Encode(SubmitResponse{State: "shed", Missed: true, Error: reason})
@@ -366,7 +475,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// was infeasible given the backlog. Fast 503, try again later.
 		s.rejected.Add(1)
 		status = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterSecs())
 	default: // dropped (drain wound)
 		status = http.StatusServiceUnavailable
 	}

@@ -1,0 +1,63 @@
+package server
+
+// The server over a sharded service: routing is invisible to clients —
+// single-shard and cross-shard submissions commit over plain /submit, and
+// /metrics reports the shards merged into one system-wide snapshot.
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestServerShardedSubmitAndMetrics(t *testing.T) {
+	cfg := core.MainMemoryConfig(core.CCA, 1)
+	cfg.Workload.DBSize = 1000
+	_, base, _ := startServer(t, Options{
+		Core:   cfg,
+		Shards: 4,
+		Epoch:  10 * time.Millisecond,
+	})
+
+	// Single-shard: items 3, 7 both live on shard 3.
+	code, out := postSubmit(t, base, SubmitRequest{
+		Items:    []int{3, 7},
+		Compute:  jsonDuration(time.Millisecond),
+		Deadline: jsonDuration(2 * time.Second),
+	})
+	if code != http.StatusOK || out.State != "committed" {
+		t.Fatalf("single-shard submit: status %d, %+v", code, out)
+	}
+
+	// Cross-shard: items on shards 0 and 1, epoch-batched.
+	code, out = postSubmit(t, base, SubmitRequest{
+		Items:    []int{4, 5},
+		Compute:  jsonDuration(time.Millisecond),
+		Deadline: jsonDuration(5 * time.Second),
+	})
+	if code != http.StatusOK || out.State != "committed" {
+		t.Fatalf("cross-shard submit: status %d, %+v", code, out)
+	}
+
+	// /metrics merges the shards: 1 single-shard commit + 2 cross parts.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Engine struct {
+			Committed int `json:"committed"`
+		} `json:"engine"`
+		Live int `json:"live"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decode /metrics: %v", err)
+	}
+	if m.Engine.Committed != 3 {
+		t.Fatalf("merged Committed = %d, want 3 (1 direct + 2 cross parts)", m.Engine.Committed)
+	}
+}

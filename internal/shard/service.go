@@ -1,0 +1,398 @@
+package shard
+
+// Wall-clock sharded service: N independent core.Services (one engine
+// shard each, its own Realtime driver goroutine) behind one Submit front.
+// Requests whose access list lies on a single shard go straight to that
+// shard's service — the scaling path: submissions to different shards
+// never contend on a driver goroutine. Cross-shard requests are queued and
+// flushed to their shards in canonical FIFO order at wall-clock epoch
+// ticks, the wall analogue of the virtual runner's boundary exchange.
+//
+// Unlike the virtual Runner, the wall-clock service is not deterministic —
+// arrival instants come from the wall — and it has no cross-shard atomic
+// commit: sub-transactions commit or fail per shard (a rejection on one
+// shard does not undo the siblings). The merged outcome reports the
+// logical fate (committed iff every part committed); workloads where
+// partial application is unacceptable should run with AdmitAll admission
+// and soft deadlines, where parts only fail if the service itself stops.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/txn"
+)
+
+// ServiceOptions configure the sharded wall-clock service.
+type ServiceOptions struct {
+	// Shards is the number of engine shards (1..64).
+	Shards int
+	// Epoch is the simulated-time cross-shard batching interval
+	// (0 = DefaultEpoch). The wall flush period is Epoch divided by the
+	// core speed factor.
+	Epoch time.Duration
+	// Core tunes each shard's wall-clock service (speed, sample window,
+	// oracle).
+	Core core.ServiceOptions
+}
+
+// partReq is one shard's slice of a cross-shard request.
+type partReq struct {
+	shard int
+	req   core.ServiceRequest
+}
+
+// pendingCross is a queued cross-shard submission waiting for the next
+// epoch flush.
+type pendingCross struct {
+	ctx   context.Context
+	parts []partReq
+	out   chan crossResult
+}
+
+type crossResult struct {
+	outcome core.ServiceOutcome
+	err     error
+}
+
+// Service is the sharded wall-clock transaction service.
+type Service struct {
+	cfg       core.Config
+	n         int
+	svcs      []*core.Service
+	wallEpoch time.Duration
+
+	stopCh chan struct{}
+
+	mu       sync.Mutex
+	draining bool
+	queue    []*pendingCross
+}
+
+// NewService builds an N-shard wall-clock service. Every shard runs the
+// same configuration (policy, admission rule, database size — items keep
+// their global numbering).
+func NewService(cfg core.Config, opt ServiceOptions) (*Service, error) {
+	if opt.Shards < 1 || opt.Shards > 64 {
+		return nil, fmt.Errorf("shard: %d shards (want 1..64)", opt.Shards)
+	}
+	epoch := opt.Epoch
+	if epoch <= 0 {
+		epoch = DefaultEpoch
+	}
+	speed := opt.Core.Speed
+	if speed <= 0 {
+		speed = 1
+	}
+	wall := time.Duration(float64(epoch) / speed)
+	if wall < time.Millisecond {
+		wall = time.Millisecond // don't busy-tick at extreme test speeds
+	}
+	s := &Service{
+		cfg:       cfg,
+		n:         opt.Shards,
+		wallEpoch: wall,
+		stopCh:    make(chan struct{}),
+	}
+	for i := 0; i < opt.Shards; i++ {
+		sv, err := core.NewService(cfg, opt.Core)
+		if err != nil {
+			return nil, err
+		}
+		s.svcs = append(s.svcs, sv)
+	}
+	return s, nil
+}
+
+// Shards returns the shard count.
+func (s *Service) Shards() int { return s.n }
+
+// Run drives every shard service and the cross-shard batcher until ctx is
+// cancelled or a shard fails; either stops all shards. Must be called
+// exactly once.
+func (s *Service) Run(ctx context.Context) error {
+	defer close(s.stopCh)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errCh := make(chan error, s.n)
+	for _, sv := range s.svcs {
+		sv := sv
+		go func() { errCh <- sv.Run(ctx) }()
+	}
+	tick := time.NewTicker(s.wallEpoch)
+	defer tick.Stop()
+	var first error
+	for running := s.n; running > 0; {
+		select {
+		case <-tick.C:
+			s.flush()
+		case err := <-errCh:
+			running--
+			if first == nil {
+				first = err
+			}
+			cancel()
+		}
+	}
+	s.failQueued(core.ErrServiceStopped)
+	return first
+}
+
+// Submit routes one request: single-shard requests go straight to their
+// shard's engine; cross-shard requests wait for the next epoch flush (so
+// they lose up to one epoch of deadline budget — size Epoch accordingly)
+// and then fan out to every touched shard.
+func (s *Service) Submit(ctx context.Context, req core.ServiceRequest) (core.ServiceOutcome, error) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		return core.ServiceOutcome{}, core.ErrDraining
+	}
+	mask := txn.ShardsTouched(req.Items, s.n)
+	if mask&(mask-1) == 0 {
+		home := 0
+		for mask > 1 {
+			mask >>= 1
+			home++
+		}
+		return s.svcs[home].Submit(ctx, req)
+	}
+	pc := &pendingCross{
+		ctx:   ctx,
+		parts: splitRequest(req, s.n),
+		out:   make(chan crossResult, 1),
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return core.ServiceOutcome{}, core.ErrDraining
+	}
+	s.queue = append(s.queue, pc)
+	s.mu.Unlock()
+	select {
+	case r := <-pc.out:
+		return r.outcome, r.err
+	case <-s.stopCh:
+		return core.ServiceOutcome{}, core.ErrServiceStopped
+	case <-ctx.Done():
+		// The flush may already hold the request; the parts themselves
+		// carry ctx and are wounded by their shards. Wait for the merged
+		// outcome rather than abandoning the channel.
+		select {
+		case r := <-pc.out:
+			if r.err == nil {
+				r.err = ctx.Err()
+			}
+			return r.outcome, r.err
+		case <-s.stopCh:
+			return core.ServiceOutcome{}, core.ErrServiceStopped
+		}
+	}
+}
+
+// flush drains the cross-shard queue: each queued request fans out to its
+// shards concurrently (a slow shard must not serialise the whole batch),
+// but the queue is dispatched in FIFO order so same-epoch requests reach
+// each shard's driver in a consistent arrival order.
+func (s *Service) flush() {
+	s.mu.Lock()
+	batch := s.queue
+	s.queue = nil
+	s.mu.Unlock()
+	for _, pc := range batch {
+		pc := pc
+		go func() {
+			outcome, err := s.fanOut(pc)
+			pc.out <- crossResult{outcome, err}
+		}()
+	}
+}
+
+// fanOut submits one cross request's parts to their shards concurrently
+// and folds the results into the logical outcome: committed iff every
+// part committed; a rejection dominates a drop; finish is the latest part;
+// restarts sum. The first per-part error (by shard order) is returned.
+func (s *Service) fanOut(pc *pendingCross) (core.ServiceOutcome, error) {
+	outs := make([]core.ServiceOutcome, len(pc.parts))
+	errs := make([]error, len(pc.parts))
+	var wg sync.WaitGroup
+	wg.Add(len(pc.parts))
+	for i, p := range pc.parts {
+		i, p := i, p
+		go func() {
+			defer wg.Done()
+			outs[i], errs[i] = s.svcs[p.shard].Submit(pc.ctx, p.req)
+		}()
+	}
+	wg.Wait()
+	var firstErr error
+	o := core.ServiceOutcome{State: core.StateCommitted}
+	for i, po := range outs {
+		if errs[i] != nil && firstErr == nil {
+			firstErr = errs[i]
+		}
+		o.Restarts += po.Restarts
+		if po.Arrival > 0 && (o.Arrival == 0 || po.Arrival < o.Arrival) {
+			o.Arrival = po.Arrival
+		}
+		if po.Deadline > o.Deadline {
+			o.Deadline = po.Deadline
+		}
+		switch po.State {
+		case core.StateRejected:
+			o.State = core.StateRejected
+		case core.StateDropped:
+			if o.State != core.StateRejected {
+				o.State = core.StateDropped
+			}
+		case core.StateCommitted:
+			if po.Finish > o.Finish {
+				o.Finish = po.Finish
+			}
+		default: // zero outcome from an errored part
+			if o.State == core.StateCommitted {
+				o.State = core.StateDropped
+			}
+		}
+	}
+	if firstErr != nil && o.State == core.StateCommitted {
+		o.State = core.StateDropped
+	}
+	if o.State == core.StateCommitted {
+		o.Response = o.Finish - o.Arrival
+		o.Missed = o.Finish > o.Deadline
+	} else {
+		o.Finish, o.Response, o.Missed = 0, 0, true
+	}
+	return o, firstErr
+}
+
+// splitRequest cuts a cross-shard request into per-shard parts, ascending
+// by shard, preserving per-shard item order and realigning the per-update
+// flags (the wall-clock analogue of workload.Spec.SplitShards).
+func splitRequest(req core.ServiceRequest, n int) []partReq {
+	parts := make([]partReq, 0, 2)
+	for shard := 0; shard < n; shard++ {
+		var items []txn.Item
+		var reads, io []bool
+		for u, it := range req.Items {
+			if txn.ShardOf(it, n) != shard {
+				continue
+			}
+			items = append(items, it)
+			if len(req.Reads) > 0 {
+				reads = append(reads, req.Reads[u])
+			}
+			if len(req.NeedsIO) > 0 {
+				io = append(io, req.NeedsIO[u])
+			}
+		}
+		if len(items) == 0 {
+			continue
+		}
+		parts = append(parts, partReq{shard: shard, req: core.ServiceRequest{
+			Items:       items,
+			Reads:       reads,
+			NeedsIO:     io,
+			Compute:     req.Compute,
+			Deadline:    req.Deadline,
+			Criticality: req.Criticality,
+			Class:       req.Class,
+		}})
+	}
+	return parts
+}
+
+// Drain flips the service to refusing new work, fails the queued (not yet
+// started) cross-shard submissions with ErrDraining, and drains every
+// shard concurrently. Returns nil when all shards drained naturally, the
+// first context error when stragglers were wounded.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.failQueued(core.ErrDraining)
+	errs := make([]error, s.n)
+	var wg sync.WaitGroup
+	wg.Add(s.n)
+	for i, sv := range s.svcs {
+		i, sv := i, sv
+		go func() {
+			defer wg.Done()
+			errs[i] = sv.Drain(ctx)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// failQueued answers every queued cross submission with err.
+func (s *Service) failQueued(err error) {
+	s.mu.Lock()
+	batch := s.queue
+	s.queue = nil
+	s.mu.Unlock()
+	for _, pc := range batch {
+		pc.out <- crossResult{err: err}
+	}
+}
+
+// InjectEvent feeds a forged trace event through shard 0's engine (fault
+// tooling; see core.Service.InjectEvent). Shard 0 is arbitrary but fixed —
+// the oracle under test is per-shard and identical on all of them.
+func (s *Service) InjectEvent(ev trace.Event) error {
+	return s.svcs[0].InjectEvent(ev)
+}
+
+// Draining reports whether graceful drain has begun.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Err returns the first shard failure (by shard index), nil while healthy.
+func (s *Service) Err() error {
+	for _, sv := range s.svcs {
+		if err := sv.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns the system-wide snapshot: the shards' run counters merged
+// with metrics.MergeRuns (exact counter sums, one percentile window over
+// the union of recent commits — never a biased average of per-shard
+// Results), live summed, clock = the furthest shard. ok=false once any
+// shard has stopped.
+func (s *Service) Stats() (core.ServiceStats, bool) {
+	runs := make([]*metrics.Run, 0, s.n)
+	st := core.ServiceStats{}
+	for _, sv := range s.svcs {
+		run, live, now, ok := sv.RunSnapshot()
+		if !ok {
+			return core.ServiceStats{}, false
+		}
+		rc := run
+		runs = append(runs, &rc)
+		st.Live += live
+		if now > st.Now {
+			st.Now = now
+		}
+	}
+	merged := metrics.MergeRuns(runs...)
+	st.Result = merged.Result()
+	return st, true
+}

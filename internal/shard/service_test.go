@@ -1,0 +1,109 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// startService boots an n-shard wall-clock service at high speed and
+// returns it with a cleanup that drains and stops it.
+func startService(t *testing.T, n int) (*Service, context.CancelFunc) {
+	t.Helper()
+	cfg := core.MainMemoryConfig(core.CCA, 1)
+	cfg.Workload.DBSize = 1000
+	s, err := NewService(cfg, ServiceOptions{
+		Shards: n,
+		Epoch:  10 * time.Millisecond,
+		Core:   core.ServiceOptions{Speed: 200},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { _ = s.Run(ctx); close(done) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("sharded service did not stop")
+		}
+	})
+	return s, cancel
+}
+
+func TestServiceSingleShardRouting(t *testing.T) {
+	s, _ := startService(t, 4)
+	// Items 2, 6, 10 all live on shard 2 under the 4-way partition.
+	o, err := s.Submit(context.Background(), core.ServiceRequest{
+		Items:    itemList(2, 6, 10),
+		Compute:  100 * time.Microsecond,
+		Deadline: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.State != core.StateCommitted {
+		t.Fatalf("outcome %+v, want committed", o)
+	}
+	// Only shard 2's engine saw it.
+	st, ok := s.Stats()
+	if !ok || st.Result.Committed != 1 {
+		t.Fatalf("merged stats = %+v ok=%v, want 1 commit", st.Result, ok)
+	}
+	run, _, _, ok := s.svcs[2].RunSnapshot()
+	if !ok || run.Committed != 1 {
+		t.Fatalf("shard 2 Committed = %d, want 1 (direct routing)", run.Committed)
+	}
+}
+
+func TestServiceCrossShardEpochBatch(t *testing.T) {
+	s, _ := startService(t, 4)
+	// Items on shards 1 and 3: epoch-batched, one part each.
+	o, err := s.Submit(context.Background(), core.ServiceRequest{
+		Items:    itemList(1, 3),
+		Compute:  100 * time.Microsecond,
+		Deadline: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.State != core.StateCommitted {
+		t.Fatalf("cross outcome %+v, want committed", o)
+	}
+	st, ok := s.Stats()
+	if !ok || st.Result.Committed != 2 {
+		t.Fatalf("merged Committed = %d, want 2 engine-level parts", st.Result.Committed)
+	}
+	for _, shard := range []int{1, 3} {
+		run, _, _, ok := s.svcs[shard].RunSnapshot()
+		if !ok || run.Committed != 1 {
+			t.Fatalf("shard %d Committed = %d, want 1", shard, run.Committed)
+		}
+	}
+}
+
+func TestServiceDrainRefusesAndFlushesQueued(t *testing.T) {
+	s, _ := startService(t, 2)
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Second)
+	defer dcancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Fatalf("drain of idle service: %v", err)
+	}
+	if !s.Draining() {
+		t.Fatal("Draining() false after Drain")
+	}
+	_, err := s.Submit(context.Background(), core.ServiceRequest{
+		Items:    itemList(0),
+		Compute:  time.Millisecond,
+		Deadline: time.Second,
+	})
+	if !errors.Is(err, core.ErrDraining) {
+		t.Fatalf("Submit after drain: %v, want ErrDraining", err)
+	}
+}

@@ -1,0 +1,30 @@
+package txn
+
+import "fmt"
+
+// ShardOf maps an item to its home shard under an n-way modular partition
+// of the item space. The rule matches the disk-striping convention
+// (item % n) so a shard's items and its disk stripe coincide, and it is a
+// pure function of the item — every component (router, engine, workload
+// splitter) can classify independently and agree.
+func ShardOf(it Item, n int) int {
+	if n < 1 {
+		panic(fmt.Sprintf("txn: ShardOf with %d shards", n))
+	}
+	return int(it) % n
+}
+
+// ShardsTouched returns, as a bitmask over shard indices (n <= 64), the
+// set of shards an access list touches. The mask form makes the common
+// questions cheap: single-shard iff mask has one bit, home shard = lowest
+// set bit.
+func ShardsTouched(items []Item, n int) uint64 {
+	if n < 1 || n > 64 {
+		panic(fmt.Sprintf("txn: ShardsTouched with %d shards (want 1..64)", n))
+	}
+	var mask uint64
+	for _, it := range items {
+		mask |= 1 << uint(ShardOf(it, n))
+	}
+	return mask
+}
