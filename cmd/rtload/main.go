@@ -1,0 +1,484 @@
+// Command rtload drives a running rtserve with a measured transaction
+// load and reports client-side latency and outcome statistics. It is
+// the load half of the wire-speed serving path: rtserve answers, rtload
+// asks — over either protocol (HTTP/JSON or the binary wire protocol),
+// in either of the two canonical load shapes:
+//
+//   - open loop (-mode open): arrivals are a Poisson process at -rate
+//     requests/second, independent of response times — the honest way
+//     to probe an overloaded server, since a slow server does not slow
+//     the arrival process down (no coordinated omission);
+//   - closed loop (-mode closed): -workers synchronous loops, each
+//     submitting back-to-back — the classic saturation probe.
+//
+// A rate-targeted soak is an open-loop run with a long -duration: the
+// report then shows whether the server held the target rate, what the
+// latency distribution looked like, and how much was shed.
+//
+// Usage examples:
+//
+//	rtload -target 127.0.0.1:8344 -proto json -mode closed -workers 8 -duration 5s
+//	rtload -target 127.0.0.1:8345 -proto wire -mode open -rate 2000 -duration 30s
+//	rtload -proto wire -report json   # machine-readable report on stdout
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/txn"
+	"repro/internal/wire"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// loadOptions is everything a run needs, parsed from flags.
+type loadOptions struct {
+	target   string
+	proto    string
+	mode     string
+	rate     float64
+	workers  int
+	conns    int
+	duration time.Duration
+	maxOut   int
+
+	items    int
+	dbsize   int
+	compute  time.Duration
+	deadline time.Duration
+	readFrac float64
+	seed     int64
+
+	report string
+}
+
+// tally accumulates outcomes across workers.
+type tally struct {
+	sent      atomic.Int64
+	committed atomic.Int64
+	missed    atomic.Int64 // committed after the deadline
+	rejected  atomic.Int64
+	shed      atomic.Int64
+	dropped   atomic.Int64
+	invalid   atomic.Int64
+	errors    atomic.Int64
+	overflow  atomic.Int64 // open loop: outstanding cap hit, request not sent
+
+	mu   sync.Mutex
+	hist metrics.Histogram // wall latency of answered requests, ms
+}
+
+func (tl *tally) observe(d time.Duration) {
+	tl.mu.Lock()
+	tl.hist.Observe(float64(d) / float64(time.Millisecond))
+	tl.mu.Unlock()
+}
+
+// Report is the machine-readable run summary (-report json).
+type Report struct {
+	Proto      string  `json:"proto"`
+	Mode       string  `json:"mode"`
+	TargetRate float64 `json:"target_rate,omitempty"`
+	Duration   float64 `json:"duration_s"`
+	Sent       int64   `json:"sent"`
+	Throughput float64 `json:"throughput_rps"`
+	Committed  int64   `json:"committed"`
+	Missed     int64   `json:"missed"`
+	Rejected   int64   `json:"rejected"`
+	Shed       int64   `json:"shed"`
+	Dropped    int64   `json:"dropped"`
+	Invalid    int64   `json:"invalid"`
+	Errors     int64   `json:"errors"`
+	Overflow   int64   `json:"overflow"`
+	P50Ms      float64 `json:"p50_ms"`
+	P95Ms      float64 `json:"p95_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	MaxMs      float64 `json:"max_ms"`
+	MeanMs     float64 `json:"mean_ms"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rtload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o loadOptions
+	fs.StringVar(&o.target, "target", "127.0.0.1:8344", "server address (host:port)")
+	fs.StringVar(&o.proto, "proto", "json", "protocol: json (HTTP) or wire (binary)")
+	fs.StringVar(&o.mode, "mode", "closed", "load shape: open (Poisson at -rate) or closed (-workers back-to-back loops)")
+	fs.Float64Var(&o.rate, "rate", 1000, "open loop: target arrival rate, requests/second")
+	fs.IntVar(&o.workers, "workers", 8, "closed loop: concurrent synchronous submitters")
+	fs.IntVar(&o.conns, "conns", 4, "wire protocol: pipelined connections to spread load over")
+	fs.DurationVar(&o.duration, "duration", 5*time.Second, "how long to drive load")
+	fs.IntVar(&o.maxOut, "max-outstanding", 4096, "open loop: cap on unanswered requests before arrivals are counted as overflow")
+	fs.IntVar(&o.items, "items", 2, "items accessed per transaction")
+	fs.IntVar(&o.dbsize, "dbsize", 30, "item space to draw from (match the server's -dbsize)")
+	fs.DurationVar(&o.compute, "compute", 100*time.Microsecond, "per-item compute time submitted")
+	fs.DurationVar(&o.deadline, "deadline", 50*time.Millisecond, "relative deadline submitted")
+	fs.Float64Var(&o.readFrac, "read-frac", 0, "fraction of items flagged as reads")
+	fs.Int64Var(&o.seed, "seed", 1, "workload RNG seed")
+	fs.StringVar(&o.report, "report", "text", "report format on stdout: text or json")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if o.proto != "json" && o.proto != "wire" {
+		fmt.Fprintf(stderr, "rtload: unknown -proto %q\n", o.proto)
+		return 2
+	}
+	if o.mode != "open" && o.mode != "closed" {
+		fmt.Fprintf(stderr, "rtload: unknown -mode %q\n", o.mode)
+		return 2
+	}
+	if o.items < 1 || o.dbsize < o.items {
+		fmt.Fprintf(stderr, "rtload: need 1 <= -items <= -dbsize\n")
+		return 2
+	}
+
+	submit, closeFn, err := newSubmitter(&o)
+	if err != nil {
+		fmt.Fprintf(stderr, "rtload: %v\n", err)
+		return 1
+	}
+	defer closeFn()
+
+	var tl tally
+	start := time.Now()
+	switch o.mode {
+	case "closed":
+		runClosed(&o, &tl, submit)
+	case "open":
+		runOpen(&o, &tl, submit)
+	}
+	elapsed := time.Since(start)
+
+	rep := buildReport(&o, &tl, elapsed)
+	switch o.report {
+	case "json":
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	default:
+		printText(stdout, rep)
+	}
+	if tl.errors.Load() > 0 && tl.committed.Load() == 0 {
+		return 1
+	}
+	return 0
+}
+
+// outcome is the client-side classification of one answered request.
+type outcome int
+
+const (
+	outCommitted outcome = iota
+	outMissed
+	outRejected
+	outShed
+	outDropped
+	outInvalid
+	outError
+)
+
+// submitFn issues one request built from the worker's RNG and reports
+// how it ended.
+type submitFn func(rng *rand.Rand) outcome
+
+// newSubmitter builds the per-protocol submit function. The returned
+// function is safe for concurrent use.
+func newSubmitter(o *loadOptions) (submitFn, func(), error) {
+	gen := func(rng *rand.Rand) ([]txn.Item, []bool) {
+		items := make([]txn.Item, 0, o.items)
+		seen := make(map[int]bool, o.items)
+		for len(items) < o.items {
+			it := rng.Intn(o.dbsize)
+			if !seen[it] {
+				seen[it] = true
+				items = append(items, txn.Item(it))
+			}
+		}
+		var reads []bool
+		if o.readFrac > 0 {
+			reads = make([]bool, len(items))
+			for i := range reads {
+				reads[i] = rng.Float64() < o.readFrac
+			}
+		}
+		return items, reads
+	}
+
+	if o.proto == "wire" {
+		clients := make([]*wire.Client, o.conns)
+		for i := range clients {
+			c, err := wire.Dial(o.target, 5*time.Second)
+			if err != nil {
+				for _, prev := range clients[:i] {
+					prev.Close()
+				}
+				return nil, nil, err
+			}
+			clients[i] = c
+		}
+		var next atomic.Int64
+		fn := func(rng *rand.Rand) outcome {
+			items, reads := gen(rng)
+			c := clients[int(next.Add(1))%len(clients)]
+			resp, err := c.Submit(&wire.SubmitReq{
+				Items: items, Reads: reads,
+				Compute: o.compute, Deadline: o.deadline,
+			})
+			if err != nil {
+				return outError
+			}
+			switch resp.Status {
+			case wire.StatusCommitted:
+				if resp.Missed {
+					return outMissed
+				}
+				return outCommitted
+			case wire.StatusRejected:
+				return outRejected
+			case wire.StatusShed:
+				return outShed
+			case wire.StatusDropped:
+				return outDropped
+			default:
+				return outInvalid
+			}
+		}
+		closeFn := func() {
+			for _, c := range clients {
+				c.Close()
+			}
+		}
+		return fn, closeFn, nil
+	}
+
+	// HTTP/JSON: one shared transport with keep-alives sized for the
+	// worker count.
+	tr := &http.Transport{
+		MaxIdleConns:        o.workers + o.conns,
+		MaxIdleConnsPerHost: o.workers + o.conns,
+	}
+	hc := &http.Client{Transport: tr, Timeout: 30 * time.Second}
+	url := "http://" + o.target + "/submit"
+	type jsonReq struct {
+		Items    []int   `json:"items"`
+		Reads    []bool  `json:"reads,omitempty"`
+		Compute  float64 `json:"compute"`
+		Deadline float64 `json:"deadline"`
+	}
+	type jsonResp struct {
+		State  string `json:"state"`
+		Missed bool   `json:"missed"`
+	}
+	fn := func(rng *rand.Rand) outcome {
+		items, reads := gen(rng)
+		ints := make([]int, len(items))
+		for i, it := range items {
+			ints[i] = int(it)
+		}
+		body, _ := json.Marshal(jsonReq{
+			Items: ints, Reads: reads,
+			Compute:  float64(o.compute) / float64(time.Millisecond),
+			Deadline: float64(o.deadline) / float64(time.Millisecond),
+		})
+		resp, err := hc.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return outError
+		}
+		defer resp.Body.Close()
+		var jr jsonResp
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			if resp.StatusCode == http.StatusBadRequest {
+				return outInvalid
+			}
+			return outError
+		}
+		switch jr.State {
+		case "committed":
+			if jr.Missed {
+				return outMissed
+			}
+			return outCommitted
+		case "rejected":
+			return outRejected
+		case "shed":
+			return outShed
+		case "dropped":
+			return outDropped
+		default:
+			return outError
+		}
+	}
+	return fn, tr.CloseIdleConnections, nil
+}
+
+func record(tl *tally, out outcome, d time.Duration) {
+	tl.sent.Add(1)
+	if out != outError && out != outShed {
+		tl.observe(d)
+	}
+	switch out {
+	case outCommitted:
+		tl.committed.Add(1)
+	case outMissed:
+		tl.committed.Add(1)
+		tl.missed.Add(1)
+	case outRejected:
+		tl.rejected.Add(1)
+	case outShed:
+		tl.shed.Add(1)
+	case outDropped:
+		tl.dropped.Add(1)
+	case outInvalid:
+		tl.invalid.Add(1)
+	default:
+		tl.errors.Add(1)
+	}
+}
+
+// runClosed: -workers synchronous loops until the clock runs out.
+func runClosed(o *loadOptions, tl *tally, submit submitFn) {
+	stop := time.Now().Add(o.duration)
+	var wg sync.WaitGroup
+	for w := 0; w < o.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.seed + int64(w)*7919))
+			for time.Now().Before(stop) {
+				t0 := time.Now()
+				out := submit(rng)
+				record(tl, out, time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runOpen: Poisson arrivals at -rate; each arrival gets its own
+// goroutine so a slow server never slows the arrival process down
+// (bounded by -max-outstanding, beyond which arrivals count as
+// overflow instead of silently stretching inter-arrival gaps).
+func runOpen(o *loadOptions, tl *tally, submit submitFn) {
+	stop := time.Now().Add(o.duration)
+	rng := rand.New(rand.NewSource(o.seed))
+	sem := make(chan struct{}, o.maxOut)
+	var wg sync.WaitGroup
+	var seq int64
+	for {
+		now := time.Now()
+		if !now.Before(stop) {
+			break
+		}
+		// Exponential inter-arrival gap for a Poisson process.
+		gap := time.Duration(rng.ExpFloat64() / o.rate * float64(time.Second))
+		time.Sleep(gap)
+		if !time.Now().Before(stop) {
+			break
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			tl.overflow.Add(1)
+			continue
+		}
+		seq++
+		wg.Add(1)
+		go func(seq int64) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			wrng := rand.New(rand.NewSource(o.seed ^ seq*2654435761))
+			t0 := time.Now()
+			out := submit(wrng)
+			record(tl, out, time.Since(t0))
+		}(seq)
+	}
+	wg.Wait()
+}
+
+func buildReport(o *loadOptions, tl *tally, elapsed time.Duration) Report {
+	rep := Report{
+		Proto:     o.proto,
+		Mode:      o.mode,
+		Duration:  elapsed.Seconds(),
+		Sent:      tl.sent.Load(),
+		Committed: tl.committed.Load(),
+		Missed:    tl.missed.Load(),
+		Rejected:  tl.rejected.Load(),
+		Shed:      tl.shed.Load(),
+		Dropped:   tl.dropped.Load(),
+		Invalid:   tl.invalid.Load(),
+		Errors:    tl.errors.Load(),
+		Overflow:  tl.overflow.Load(),
+	}
+	if o.mode == "open" {
+		rep.TargetRate = o.rate
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Sent) / elapsed.Seconds()
+	}
+	tl.mu.Lock()
+	if tl.hist.Count() > 0 {
+		rep.P50Ms = tl.hist.Quantile(0.50)
+		rep.P95Ms = tl.hist.Quantile(0.95)
+		rep.P99Ms = tl.hist.Quantile(0.99)
+		rep.MaxMs = tl.hist.Max()
+		rep.MeanMs = tl.hist.Mean()
+	}
+	tl.mu.Unlock()
+	rep.round()
+	return rep
+}
+
+// round trims float noise for stable, readable reports.
+func (r *Report) round() {
+	f := func(v float64) float64 { return math.Round(v*1000) / 1000 }
+	r.Duration = f(r.Duration)
+	r.Throughput = f(r.Throughput)
+	r.P50Ms = f(r.P50Ms)
+	r.P95Ms = f(r.P95Ms)
+	r.P99Ms = f(r.P99Ms)
+	r.MaxMs = f(r.MaxMs)
+	r.MeanMs = f(r.MeanMs)
+}
+
+func printText(w io.Writer, r Report) {
+	fmt.Fprintf(w, "rtload: %s/%s %.1fs", r.Proto, r.Mode, r.Duration)
+	if r.TargetRate > 0 {
+		fmt.Fprintf(w, " (target %.0f rps)", r.TargetRate)
+	}
+	fmt.Fprintf(w, "\n  sent %d (%.0f rps)\n", r.Sent, r.Throughput)
+	type line struct {
+		name string
+		n    int64
+	}
+	lines := []line{
+		{"committed", r.Committed}, {"missed", r.Missed}, {"rejected", r.Rejected},
+		{"shed", r.Shed}, {"dropped", r.Dropped}, {"invalid", r.Invalid},
+		{"errors", r.Errors}, {"overflow", r.Overflow},
+	}
+	sort.SliceStable(lines, func(i, j int) bool { return lines[i].n > lines[j].n })
+	for _, l := range lines {
+		if l.n > 0 {
+			fmt.Fprintf(w, "  %-9s %d\n", l.name, l.n)
+		}
+	}
+	if r.P50Ms > 0 || r.MaxMs > 0 {
+		fmt.Fprintf(w, "  latency ms: p50 %.3f  p95 %.3f  p99 %.3f  max %.3f  mean %.3f\n",
+			r.P50Ms, r.P95Ms, r.P99Ms, r.MaxMs, r.MeanMs)
+	}
+}

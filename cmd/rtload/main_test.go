@@ -1,0 +1,212 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// startServer brings up an in-process dual-protocol server on loopback
+// and returns the two addresses.
+func startServer(t *testing.T) (httpAddr, wireAddr string) {
+	t.Helper()
+	srv, err := server.New(server.Options{
+		Core:    core.MainMemoryConfig(core.CCA, 17),
+		Service: core.ServiceOptions{Speed: 5000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeListeners(ctx, httpLn, wireLn) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Error("server did not shut down")
+		}
+	})
+	return httpLn.Addr().String(), wireLn.Addr().String()
+}
+
+func runLoad(t *testing.T, args ...string) (Report, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("rtload exited %d: %s", code, errb.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, out.String())
+	}
+	return rep, errb.String()
+}
+
+func TestClosedLoopBothProtocols(t *testing.T) {
+	httpAddr, wireAddr := startServer(t)
+	for _, tc := range []struct{ proto, target string }{
+		{"json", httpAddr},
+		{"wire", wireAddr},
+	} {
+		rep, _ := runLoad(t,
+			"-target", tc.target, "-proto", tc.proto,
+			"-mode", "closed", "-workers", "4", "-duration", "400ms",
+			"-compute", "50us", "-deadline", "2s", "-report", "json")
+		if rep.Proto != tc.proto || rep.Mode != "closed" {
+			t.Fatalf("%s: report header %+v", tc.proto, rep)
+		}
+		if rep.Sent == 0 || rep.Committed == 0 {
+			t.Fatalf("%s: nothing committed: %+v", tc.proto, rep)
+		}
+		if rep.Errors > 0 {
+			t.Fatalf("%s: client errors: %+v", tc.proto, rep)
+		}
+		if rep.P99Ms <= 0 || rep.MaxMs < rep.P50Ms {
+			t.Fatalf("%s: latency histogram incoherent: %+v", tc.proto, rep)
+		}
+	}
+}
+
+func TestOpenLoopTracksRate(t *testing.T) {
+	_, wireAddr := startServer(t)
+	rep, _ := runLoad(t,
+		"-target", wireAddr, "-proto", "wire",
+		"-mode", "open", "-rate", "300", "-duration", "600ms",
+		"-compute", "50us", "-deadline", "2s", "-report", "json")
+	if rep.TargetRate != 300 {
+		t.Fatalf("target rate not reported: %+v", rep)
+	}
+	if rep.Sent == 0 || rep.Committed == 0 {
+		t.Fatalf("nothing committed: %+v", rep)
+	}
+	// Poisson at 300/s for 0.6s: expect on the order of 180 arrivals;
+	// anything within a loose 3x band proves the pacer is pacing rather
+	// than free-running or stalling.
+	if rep.Sent < 60 || rep.Sent > 540 {
+		t.Fatalf("open loop sent %d requests at rate 300 over 600ms, outside [60,540]", rep.Sent)
+	}
+}
+
+func TestTextReport(t *testing.T) {
+	httpAddr, _ := startServer(t)
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-target", httpAddr, "-proto", "json",
+		"-mode", "closed", "-workers", "2", "-duration", "200ms",
+		"-compute", "50us", "-deadline", "2s"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	text := out.String()
+	for _, want := range []string{"rtload: json/closed", "sent ", "committed", "latency ms: p50"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text report missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-proto", "carrier-pigeon"},
+		{"-mode", "sideways"},
+		{"-items", "0"},
+		{"-items", "50", "-dbsize", "30"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Fatalf("args %v: exit %d, want 2 (stderr: %s)", args, code, errb.String())
+		}
+	}
+}
+
+func TestConnectFailure(t *testing.T) {
+	// A port nothing listens on: wire fails at dial time, json fails
+	// per-request; both must exit nonzero without hanging.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-target", dead, "-proto", "wire", "-duration", "100ms"}, &out, &errb); code != 1 {
+		t.Fatalf("wire dial to dead port: exit %d, want 1", code)
+	}
+	out.Reset()
+	errb.Reset()
+	code := run([]string{"-target", dead, "-proto", "json", "-mode", "closed",
+		"-workers", "1", "-duration", "100ms", "-report", "json"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("json to dead port: exit %d, want 1\n%s", code, out.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if rep.Errors == 0 {
+		t.Fatalf("expected errors counted: %+v", rep)
+	}
+}
+
+// TestOverloadIsShedNotQueued: drive an open loop well past a tiny
+// server's capacity and check the surplus comes back as shed (the fast
+// 503 / StatusShed path), not as errors or unbounded latency.
+func TestOverloadIsShedNotQueued(t *testing.T) {
+	srv, err := server.New(server.Options{
+		Core:        core.MainMemoryConfig(core.CCA, 23),
+		Service:     core.ServiceOptions{Speed: 50},
+		MaxInflight: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeListeners(ctx, httpLn, wireLn) }()
+	defer func() {
+		cancel()
+		<-done
+	}()
+
+	rep, _ := runLoad(t,
+		"-target", wireLn.Addr().String(), "-proto", "wire", "-conns", "2",
+		"-mode", "open", "-rate", "2000", "-duration", "500ms",
+		"-compute", "20ms", "-deadline", "100ms", "-report", "json")
+	if rep.Sent < 100 {
+		t.Fatalf("open loop barely ran: %+v", rep)
+	}
+	answered := rep.Committed + rep.Missed + rep.Rejected + rep.Shed + rep.Dropped
+	if answered == 0 {
+		t.Fatalf("no answers at all: %+v", rep)
+	}
+	if rep.Errors > rep.Sent/10 {
+		t.Fatalf("overload produced errors, not shedding: %+v", rep)
+	}
+	t.Logf("overload report: %s", fmt.Sprintf("%+v", rep))
+}

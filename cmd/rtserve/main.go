@@ -58,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		admission = fs.String("admission", "reject-infeasible", "admission mode: reject-newest, reject-infeasible or admit-all (load shedding)")
 		admMax    = fs.Int("admission-max", 0, "live-set cap for the admission controller (required for reject-newest)")
 
+		wireAddr    = fs.String("wire-addr", "", "optional listen address for the binary wire protocol (internal/wire); empty disables it")
 		maxInflight = fs.Int("max-inflight", 0, "bound on concurrently admitted HTTP submissions (0 = default 256); past it the server sheds")
 		drain       = fs.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget for in-flight transactions before they are wounded")
 		readTO      = fs.Duration("read-timeout", 15*time.Second, "HTTP read timeout (slow-client guard)")
@@ -112,6 +113,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "rtserve: %v\n", err)
 		return 1
 	}
+	var wireLn net.Listener
+	if *wireAddr != "" {
+		wireLn, err = net.Listen("tcp", *wireAddr)
+		if err != nil {
+			ln.Close()
+			fmt.Fprintf(stderr, "rtserve: %v\n", err)
+			return 1
+		}
+	}
 
 	// SIGINT/SIGTERM start the graceful drain; a second signal kills the
 	// process the usual way (the handler is reset once ctx fires).
@@ -120,8 +130,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	fmt.Fprintf(stderr, "rtserve: serving %s policy on %s (admission %s, drain %v)\n",
 		*policy, ln.Addr(), orDefault(*admission, "admit-all"), *drain)
+	if wireLn != nil {
+		fmt.Fprintf(stderr, "rtserve: wire protocol on %s\n", wireLn.Addr())
+	}
 
-	serveErr := srv.Serve(ctx, ln)
+	serveErr := srv.ServeListeners(ctx, ln, wireLn)
 	stop()
 
 	// Flush the final metrics snapshot taken during drain.

@@ -1,0 +1,140 @@
+// Batched submission: the wire-speed ingestion path into the wall-clock
+// service. Submit pays one driver Call — a mutex, a closure, a wakeup —
+// per transaction; under a high-rate front-end that per-request handoff is
+// the bottleneck, not the engine. SubmitBatch amortises it: the server's
+// submit queues collect every request that arrived while the driver was
+// busy and inject them all in a single Call, so the handoff cost is paid
+// once per driver wakeup instead of once per transaction. The engine-side
+// semantics are unchanged — each submission still goes through the same
+// validation, admission control and onArrival as Submit, in batch order.
+package core
+
+import (
+	"time"
+
+	"repro/internal/workload"
+)
+
+// Submission is one entry of a batched submit. Done is invoked exactly
+// once per submission: with the terminal outcome (on the engine's driver
+// goroutine — it must not block; hand off to a channel or queue), or with
+// a validation / ErrDraining / ErrServiceStopped error (from the
+// SubmitBatch caller's goroutine).
+type Submission struct {
+	Req  ServiceRequest
+	Done func(ServiceOutcome, error)
+}
+
+// SubmitHandle wounds one batched in-flight submission, the batch
+// analogue of Submit's cancel-on-context-done: the front-end calls Cancel
+// when the client disconnects so abandoned work stops consuming the CPU.
+// The zero handle is a no-op (a submission that was never injected).
+// Cancel is idempotent and safe after the transaction reached a terminal
+// state.
+type SubmitHandle struct {
+	svc      *Service
+	t        *Txn
+	cancelFn func()
+}
+
+// Cancel wounds the submission if it is still in flight.
+func (h SubmitHandle) Cancel() {
+	switch {
+	case h.svc != nil:
+		_ = h.svc.rt.Call(func() { h.svc.e.cancelServiceTxn(h.t) })
+	case h.cancelFn != nil:
+		h.cancelFn()
+	}
+}
+
+// CancelHandle wraps an arbitrary cancel func as a SubmitHandle (the
+// sharded service's cross-shard path uses it).
+func CancelHandle(fn func()) SubmitHandle { return SubmitHandle{cancelFn: fn} }
+
+// failAll reports err to every submission that has not been answered yet
+// (specs[i] == nil marks an entry whose Done already ran).
+func failAll(subs []Submission, specs []*workload.Spec, err error) {
+	for i := range subs {
+		if specs == nil || specs[i] != nil {
+			subs[i].Done(ServiceOutcome{}, err)
+		}
+	}
+}
+
+// SubmitBatch injects every submission in one driver call and returns
+// right after injection; outcomes (and every error: validation, draining,
+// stopped service) are delivered through each Submission.Done, which is
+// guaranteed to be invoked exactly once per entry. The returned handles
+// are index-aligned with subs; an entry that was never injected (it
+// already failed) carries the zero no-op handle.
+func (s *Service) SubmitBatch(subs []Submission) []SubmitHandle {
+	handles := make([]SubmitHandle, len(subs))
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		failAll(subs, nil, ErrDraining)
+		return handles
+	}
+	s.mu.Unlock()
+
+	specs := make([]*workload.Spec, len(subs))
+	any := false
+	for i := range subs {
+		sub := &subs[i]
+		if err := sub.Req.validate(&s.e.cfg); err != nil {
+			sub.Done(ServiceOutcome{}, err)
+			continue
+		}
+		specs[i] = &workload.Spec{
+			Items:       sub.Req.Items,
+			Compute:     sub.Req.Compute,
+			Reads:       sub.Req.Reads,
+			NeedsIO:     sub.Req.NeedsIO,
+			Criticality: sub.Req.Criticality,
+			Class:       sub.Req.Class,
+		}
+		any = true
+	}
+	if !any {
+		return handles
+	}
+
+	ready := make(chan struct{})
+	err := s.rt.Call(func() {
+		now := time.Duration(s.e.sim.Now())
+		for i := range subs {
+			spec := specs[i]
+			if spec == nil {
+				continue
+			}
+			done := subs[i].Done
+			spec.Arrival = now
+			spec.Deadline = now + subs[i].Req.Deadline
+			t := s.e.addServiceTxn(spec, func(t *Txn) {
+				done(outcomeOf(t), nil)
+				s.e.retireServiceTxn(t)
+			})
+			handles[i] = SubmitHandle{svc: s, t: t}
+			s.e.onArrival(t)
+		}
+		close(ready)
+	})
+	if err != nil {
+		failAll(subs, specs, ErrServiceStopped)
+		return handles
+	}
+	select {
+	case <-ready:
+		return handles
+	case <-s.stopCh:
+		// The driver may have run the injection just before stopping; only
+		// fail the batch if it truly never ran (dropped calls never run).
+		select {
+		case <-ready:
+			return handles
+		default:
+			failAll(subs, specs, ErrServiceStopped)
+			return handles
+		}
+	}
+}

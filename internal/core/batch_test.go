@@ -1,0 +1,128 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/txn"
+)
+
+// batchCollect builds a Submission whose outcome lands on a buffered
+// channel (the Done contract: never block the driver).
+func batchCollect(req ServiceRequest) (Submission, chan ServiceOutcome, chan error) {
+	oc := make(chan ServiceOutcome, 1)
+	ec := make(chan error, 1)
+	return Submission{
+		Req: req,
+		Done: func(o ServiceOutcome, err error) {
+			oc <- o
+			ec <- err
+		},
+	}, oc, ec
+}
+
+// TestSubmitBatchCommits injects a batch in one driver call and checks
+// every entry reaches a terminal outcome, including a validation failure
+// answered without touching the engine.
+func TestSubmitBatchCommits(t *testing.T) {
+	s, stop := startService(t, MainMemoryConfig(CCA, 3), ServiceOptions{})
+	defer stop()
+
+	const n = 16
+	subs := make([]Submission, 0, n+1)
+	ocs := make([]chan ServiceOutcome, 0, n)
+	for i := 0; i < n; i++ {
+		sub, oc, _ := batchCollect(simpleReq(txn.Item(i), txn.Item(i+14)))
+		subs = append(subs, sub)
+		ocs = append(ocs, oc)
+	}
+	bad, _, badErr := batchCollect(ServiceRequest{Compute: time.Millisecond, Deadline: time.Second})
+	subs = append(subs, bad)
+
+	handles := s.SubmitBatch(subs)
+	if len(handles) != n+1 {
+		t.Fatalf("got %d handles, want %d", len(handles), n+1)
+	}
+	select {
+	case err := <-badErr:
+		if err == nil {
+			t.Fatal("empty-items submission did not fail validation")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("validation failure never reported")
+	}
+	for i, oc := range ocs {
+		select {
+		case o := <-oc:
+			if o.State != StateCommitted {
+				t.Fatalf("entry %d: state %v, want committed", i, o.State)
+			}
+			if o.Response <= 0 || o.Finish < o.Arrival {
+				t.Fatalf("entry %d: incoherent timings %+v", i, o)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("entry %d never finished", i)
+		}
+	}
+}
+
+// TestSubmitBatchCancel wounds one batched submission via its handle and
+// checks it is dropped while its batch-mates commit.
+func TestSubmitBatchCancel(t *testing.T) {
+	s, stop := startService(t, MainMemoryConfig(CCA, 4), ServiceOptions{})
+	defer stop()
+
+	// A transaction too long to ever finish in the test window, and a
+	// short one that must be unaffected by the wound.
+	long, longOC, _ := batchCollect(ServiceRequest{
+		Items:    []txn.Item{1},
+		Compute:  time.Hour,
+		Deadline: 10 * time.Hour,
+	})
+	short, shortOC, _ := batchCollect(simpleReq(2))
+	handles := s.SubmitBatch([]Submission{long, short})
+
+	select {
+	case o := <-shortOC:
+		if o.State != StateCommitted {
+			t.Fatalf("short: state %v, want committed", o.State)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("short entry never finished")
+	}
+	handles[0].Cancel()
+	select {
+	case o := <-longOC:
+		if o.State != StateDropped {
+			t.Fatalf("cancelled: state %v, want dropped", o.State)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled entry never reached a terminal state")
+	}
+	// Cancel is idempotent, including after the terminal state.
+	handles[0].Cancel()
+	SubmitHandle{}.Cancel() // zero handle is a no-op
+}
+
+// TestSubmitBatchDraining checks the whole-batch refusal path.
+func TestSubmitBatchDraining(t *testing.T) {
+	s, stop := startService(t, MainMemoryConfig(CCA, 5), ServiceOptions{})
+	defer stop()
+	dctx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer dcancel()
+	if err := s.Drain(dctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	sub, _, ec := batchCollect(simpleReq(1))
+	s.SubmitBatch([]Submission{sub})
+	select {
+	case err := <-ec:
+		if !errors.Is(err, ErrDraining) {
+			t.Fatalf("err = %v, want ErrDraining", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("draining batch never answered")
+	}
+}

@@ -51,8 +51,15 @@ type ServiceOptions struct {
 	Speed float64
 	// SampleWindow bounds the engine's per-commit tardiness samples to the
 	// most recent N commits so a long-lived service keeps constant memory
-	// (0 picks a default of 4096).
+	// (0 picks a default of 4096). Only consulted with UseSampleRing: the
+	// default histogram is constant-memory over any run length.
 	SampleWindow int
+	// UseSampleRing is the compat flag for the pre-histogram percentile
+	// path: keep the bounded sample ring (recent-window percentiles,
+	// re-sorted per query) instead of the fixed-bucket log-scale
+	// histogram (whole-run percentiles, exact-to-bucket, bucket-sum
+	// merging). Retired once the figure suite migrates to histograms.
+	UseSampleRing bool
 	// Oracle attaches the runtime safety oracle: a violated paper
 	// invariant stops the service with an error (surfaced by Err and
 	// /healthz) instead of silently corrupting results. The oracle records
@@ -207,6 +214,7 @@ func NewService(cfg Config, opt ServiceOptions) (*Service, error) {
 		}
 	}
 	e.run.CPUs = cfg.NumCPUs
+	e.run.UseHistogram = !opt.UseSampleRing
 	e.run.SampleWindow = opt.SampleWindow
 	if e.run.SampleWindow == 0 {
 		e.run.SampleWindow = 4096

@@ -86,6 +86,15 @@ type Run struct {
 	// recent window rather than the whole run. 0 (the default, used by
 	// every simulation run) keeps every sample.
 	SampleWindow int
+	// UseHistogram routes tardiness observations into a fixed-bucket
+	// log-scale Histogram instead of the sample ring: constant memory over
+	// any run length, percentiles exact-to-bucket over the whole run (not
+	// a recent window), and shard merging by bucket sums. The wall-clock
+	// service turns it on by default; the ring stays available behind the
+	// service's compat flag until the figure suite migrates (simulation
+	// runs keep unbounded samples and are untouched either way).
+	UseHistogram bool
+	hist         *Histogram
 	// latenessSamples holds each commit's tardiness in ms, for the
 	// percentile metrics (a ring of the last SampleWindow commits when
 	// SampleWindow > 0, rotated at sampleIdx). sampleTimes is the parallel
@@ -129,6 +138,13 @@ func (r *Run) Observe(class int, arrival, finish, deadline time.Duration) {
 		cc.tardinessSum += late
 		tardy = float64(late) / float64(time.Millisecond)
 	}
+	if r.UseHistogram {
+		if r.hist == nil {
+			r.hist = &Histogram{}
+		}
+		r.hist.Observe(tardy)
+		return
+	}
 	if r.SampleWindow > 0 && len(r.latenessSamples) >= r.SampleWindow {
 		r.latenessSamples[r.sampleIdx] = tardy
 		r.sampleTimes[r.sampleIdx] = finish
@@ -138,6 +154,10 @@ func (r *Run) Observe(class int, arrival, finish, deadline time.Duration) {
 		r.sampleTimes = append(r.sampleTimes, finish)
 	}
 }
+
+// TardinessHistogram returns the run's latency histogram, or nil when the
+// run uses the sample ring.
+func (r *Run) TardinessHistogram() *Histogram { return r.hist }
 
 // sample pairs one ring entry's commit instant with its tardiness.
 type sample struct {
@@ -173,6 +193,9 @@ func (r *Run) Clone() Run {
 	c := *r
 	c.latenessSamples = append([]float64(nil), r.latenessSamples...)
 	c.sampleTimes = append([]time.Duration(nil), r.sampleTimes...)
+	if r.hist != nil {
+		c.hist = r.hist.Clone()
+	}
 	if r.classes != nil {
 		c.classes = make(map[int]*classCounts, len(r.classes))
 		for k, v := range r.classes {
@@ -229,6 +252,17 @@ func MergeRuns(runs ...*Run) Run {
 			unbounded = true
 		} else if r.SampleWindow > m.SampleWindow {
 			m.SampleWindow = r.SampleWindow
+		}
+		if r.UseHistogram {
+			// Histogram runs merge by bucket sums: exact, order-free, no
+			// window clipping — every shard's whole distribution counts.
+			m.UseHistogram = true
+			if r.hist != nil {
+				if m.hist == nil {
+					m.hist = &Histogram{}
+				}
+				m.hist.Merge(r.hist)
+			}
 		}
 		all = append(all, r.orderedSamples()...)
 		for k, v := range r.classes {
@@ -313,7 +347,13 @@ func (r *Run) Result() Result {
 		res.RestartsPerTxn = float64(r.Restarts) / float64(r.Committed)
 		res.WastedServiceMs = float64(r.WastedService) / float64(r.Committed) / float64(time.Millisecond)
 		res.MeanResponseMs = float64(r.ResponseSum) / float64(r.Committed) / float64(time.Millisecond)
-		if len(r.latenessSamples) > 0 {
+		switch {
+		case r.UseHistogram && r.hist != nil && r.hist.Count() > 0:
+			res.P50LatenessMs = r.hist.Quantile(0.50)
+			res.P90LatenessMs = r.hist.Quantile(0.90)
+			res.P99LatenessMs = r.hist.Quantile(0.99)
+			res.MaxLatenessMs = r.hist.Max()
+		case len(r.latenessSamples) > 0:
 			sorted := append([]float64(nil), r.latenessSamples...)
 			sort.Float64s(sorted)
 			res.P50LatenessMs = percentile(sorted, 50)

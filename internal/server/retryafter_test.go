@@ -27,8 +27,8 @@ func TestRetryAfterTracksLoad(t *testing.T) {
 	s, base, _ := startServer(t, opts)
 
 	// Idle: no live transactions → shed (from capacity) says retry in 1s.
-	if got := s.retryAfterSecs(); got != "1" {
-		t.Fatalf("idle retryAfterSecs = %q, want \"1\"", got)
+	if got := s.retryAfterSecs(); got != 1 {
+		t.Fatalf("idle retryAfterSecs = %d, want 1", got)
 	}
 
 	// Occupy the only inflight slot (and the engine) with a long

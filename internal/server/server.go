@@ -15,6 +15,15 @@
 //   - observability is built in: /metrics (engine counters + server-side
 //     response percentiles), /healthz (engine/oracle failure surfaces
 //     here), /debug/pprof and /debug/vars.
+//
+// Two front-ends share one serving path: this HTTP/JSON listener and the
+// binary wire protocol (internal/wire, enabled via ServeListeners). Both
+// decode into core.ServiceRequest and enqueue into the sharded batcher,
+// which injects every submission that arrived while the engine driver
+// was busy in one SubmitBatch call — so the per-request handoff cost is
+// paid per driver wakeup, not per transaction. Overload and drain
+// behavior is identical on both: fast shed with an admission-derived
+// Retry-After.
 package server
 
 import (
@@ -23,19 +32,21 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
-	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/shard"
 	"repro/internal/trace"
 	"repro/internal/txn"
+	"repro/internal/wire"
 )
 
 // Service is the server's view of a wall-clock transaction service. Both
@@ -44,6 +55,7 @@ import (
 type Service interface {
 	Run(ctx context.Context) error
 	Submit(ctx context.Context, req core.ServiceRequest) (core.ServiceOutcome, error)
+	SubmitBatch(subs []core.Submission) []core.SubmitHandle
 	Drain(ctx context.Context) error
 	Stats() (core.ServiceStats, bool)
 	InjectEvent(ev trace.Event) error
@@ -96,15 +108,14 @@ func (o *Options) fillDefaults() {
 	}
 }
 
-// respWindow is the ring size for server-side response-time percentiles.
-const respWindow = 4096
-
-// Server is the HTTP front-end over one transaction Service (single
-// engine or sharded).
+// Server is the front-end over one transaction Service (single engine
+// or sharded): the HTTP/JSON listener, and optionally the binary wire
+// listener (ServeListeners), both feeding the sharded submit batcher.
 type Server struct {
-	opts Options
-	svc  Service
-	mux  *http.ServeMux
+	opts  Options
+	svc   Service
+	mux   *http.ServeMux
+	batch *batcher
 
 	inflight chan struct{}
 
@@ -124,9 +135,11 @@ type Server struct {
 	badReqs  atomic.Int64
 	panics   atomic.Int64
 
-	respMu      sync.Mutex
-	respSamples []float64 // wall-clock ms of completed submissions (ring)
-	respIdx     int
+	// respHist accumulates wall-clock response times of completed
+	// submissions in a fixed-bucket log-scale histogram: constant
+	// memory, bounded quantile error, no sample eviction.
+	respMu   sync.Mutex
+	respHist metrics.Histogram
 
 	finalMu sync.Mutex
 	final   core.ServiceStats
@@ -159,6 +172,7 @@ func New(opts Options) (*Server, error) {
 		mux:      http.NewServeMux(),
 		inflight: make(chan struct{}, opts.MaxInflight),
 	}
+	s.batch = newBatcher(svc, opts.Shards, opts.MaxInflight)
 	s.mux.HandleFunc("/submit", s.handleSubmit)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -206,10 +220,19 @@ func (s *Server) Handler() http.Handler {
 // A cancellation-initiated shutdown returns nil; an engine failure returns
 // its error.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	return s.ServeListeners(ctx, ln, nil)
+}
+
+// ServeListeners is Serve with an optional second listener speaking the
+// binary wire protocol (internal/wire). Both front-ends share the
+// batcher, the admission machinery and the drain sequence; wireLn may be
+// nil for HTTP only.
+func (s *Server) ServeListeners(ctx context.Context, httpLn, wireLn net.Listener) error {
 	runCtx, cancelRun := context.WithCancel(context.Background())
 	defer cancelRun()
 	svcDone := make(chan error, 1)
 	go func() { svcDone <- s.svc.Run(runCtx) }()
+	s.batch.start()
 
 	hs := &http.Server{
 		Handler:      s.Handler(),
@@ -217,7 +240,17 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		WriteTimeout: s.opts.WriteTimeout,
 	}
 	httpDone := make(chan error, 1)
-	go func() { httpDone <- hs.Serve(ln) }()
+	go func() { httpDone <- hs.Serve(httpLn) }()
+
+	var ws *wire.Server
+	var wireDone chan error
+	if wireLn != nil {
+		ws = wire.NewServer(wireBackend{s}, wire.ServerOptions{
+			MaxInflightPerConn: s.opts.MaxInflight,
+		})
+		wireDone = make(chan error, 1)
+		go func() { wireDone <- ws.Serve(wireLn) }()
+	}
 
 	var failure error
 	select {
@@ -228,13 +261,18 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	case err := <-httpDone:
 		httpDone = nil
 		failure = fmt.Errorf("server: listener failed: %w", err)
+	case err := <-wireDone:
+		wireDone = nil
+		failure = fmt.Errorf("server: wire listener failed: %w", err)
 	}
 
 	// Graceful drain. Order matters: Drain first flips the service to
-	// refusing submissions (503s for anyone still connected) and then
-	// finishes or wounds the in-flight transactions, which unblocks their
-	// handlers; Shutdown then closes the listener and waits out the
-	// (now fast) active requests; only then does the engine driver stop.
+	// refusing submissions (503s/sheds for anyone still connected) and
+	// then finishes or wounds the in-flight transactions, which unblocks
+	// their handlers and flushes their wire responses; the listener
+	// shutdowns then wait out the (now fast) active requests; the batcher
+	// sweep answers anything still queued; only then does the engine
+	// driver stop.
 	dctx, dcancel := context.WithTimeout(context.Background(), s.opts.DrainTimeout)
 	defer dcancel()
 	_ = s.svc.Drain(dctx)
@@ -246,6 +284,10 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		s.finalMu.Unlock()
 	}
 	_ = hs.Shutdown(dctx)
+	if ws != nil {
+		_ = ws.Shutdown(dctx)
+	}
+	s.batch.shutdown()
 	cancelRun()
 	if svcDone != nil {
 		<-svcDone
@@ -253,7 +295,51 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	if httpDone != nil {
 		<-httpDone
 	}
+	if wireDone != nil {
+		<-wireDone
+	}
 	return failure
+}
+
+// wireBackend adapts the server to the wire front-end's Backend
+// interface without widening Server's public API.
+type wireBackend struct{ s *Server }
+
+func (b wireBackend) Enqueue(id uint64, req core.ServiceRequest, c wire.Completer) bool {
+	return b.s.batch.enqueue(id, req, countingCompleter{b.s, c})
+}
+
+// countingCompleter folds wire-path submissions into the server's
+// request counters so /metrics reports the same truths regardless of
+// which protocol carried the request.
+type countingCompleter struct {
+	s *Server
+	c wire.Completer
+}
+
+func (cc countingCompleter) OnHandle(id uint64, h core.SubmitHandle) { cc.c.OnHandle(id, h) }
+
+func (cc countingCompleter) Complete(id uint64, o core.ServiceOutcome, err error) {
+	switch {
+	case err == nil:
+		cc.s.accepted.Add(1)
+		if o.State == core.StateRejected {
+			cc.s.rejected.Add(1)
+		}
+	case errors.Is(err, core.ErrDraining) || errors.Is(err, core.ErrServiceStopped):
+		cc.s.shed.Add(1)
+	default:
+		cc.s.badReqs.Add(1)
+	}
+	cc.c.Complete(id, o, err)
+}
+
+func (b wireBackend) RetryAfterSecs() int { return b.s.retryAfterSecs() }
+func (b wireBackend) Draining() bool      { return b.s.svc.Draining() }
+func (b wireBackend) HealthErr() error    { return b.s.svc.Err() }
+
+func (b wireBackend) MetricsBody() ([]byte, error) {
+	return json.Marshal(b.s.metricsResponse())
 }
 
 // --- request/response codec ---------------------------------------------
@@ -276,6 +362,9 @@ func (d *jsonDuration) UnmarshalJSON(b []byte) error {
 		if err != nil {
 			return err
 		}
+		if v < 0 {
+			return fmt.Errorf("duration %q is negative", s)
+		}
 		*d = jsonDuration(v)
 		return nil
 	}
@@ -283,7 +372,16 @@ func (d *jsonDuration) UnmarshalJSON(b []byte) error {
 	if err := json.Unmarshal(b, &ms); err != nil {
 		return err
 	}
-	*d = jsonDuration(ms * float64(time.Millisecond))
+	// encoding/json already refuses bare NaN/Inf literals, but a value
+	// like 1e309 parses as +Inf and a huge-but-finite one can overflow
+	// the int64 duration; reject anything that is not a sane,
+	// non-negative millisecond count. The binary codec applies the same
+	// rule in wire.DecodeSubmit.
+	ns := ms * float64(time.Millisecond)
+	if math.IsNaN(ns) || math.IsInf(ns, 0) || ms < 0 || ns > float64(math.MaxInt64) {
+		return fmt.Errorf("duration %s ms is not a usable non-negative duration", b)
+	}
+	*d = jsonDuration(ns)
 	return nil
 }
 
@@ -341,16 +439,16 @@ func (s *Server) cachedStats() (core.ServiceStats, bool) {
 	return s.stats, s.statsOK
 }
 
-// retryAfterSecs derives the Retry-After value for a 503 from the
-// admission state instead of a hardcoded "1": the estimated wall-clock
-// time to drain the current live set at the service's capacity, clamped
-// to [1, 30] seconds. An idle or unreadable service answers 1 — retry
-// immediately — while a deep backlog tells clients to stay away long
-// enough for the estimate to actually change.
-func (s *Server) retryAfterSecs() string {
+// retryAfterSecs derives the Retry-After value for a 503 (or a wire
+// shed) from the admission state instead of a hardcoded 1: the
+// estimated wall-clock time to drain the current live set at the
+// service's capacity, clamped to [1, 30] seconds. An idle or unreadable
+// service answers 1 — retry immediately — while a deep backlog tells
+// clients to stay away long enough for the estimate to actually change.
+func (s *Server) retryAfterSecs() int {
 	st, ok := s.cachedStats()
 	if !ok || st.Live == 0 {
-		return "1"
+		return 1
 	}
 	p := s.opts.Core.Workload
 	// Mean per-transaction resource demand (sim time): updates × (compute
@@ -385,12 +483,12 @@ func (s *Server) retryAfterSecs() string {
 	if secs > 30 {
 		secs = 30
 	}
-	return strconv.Itoa(secs)
+	return secs
 }
 
 func (s *Server) shedResponse(w http.ResponseWriter, reason string) {
 	s.shed.Add(1)
-	w.Header().Set("Retry-After", s.retryAfterSecs())
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusServiceUnavailable)
 	_ = json.NewEncoder(w).Encode(SubmitResponse{State: "shed", Missed: true, Error: reason})
@@ -434,9 +532,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	// r.Context() is cancelled when the client disconnects; Submit then
-	// wounds the transaction so abandoned work stops consuming CPU.
-	o, err := s.svc.Submit(r.Context(), creq)
+	// The submission rides the sharded batcher like every other
+	// front-end; if the client disconnects the waiter wounds it so
+	// abandoned work stops consuming CPU.
+	wt := &httpWaiter{ch: make(chan outcomeErr, 1)}
+	if !s.batch.enqueue(0, creq, wt) {
+		s.shedResponse(w, "server at capacity")
+		return
+	}
+	var o core.ServiceOutcome
+	var err error
+	select {
+	case oe := <-wt.ch:
+		o, err = oe.o, oe.err
+	case <-r.Context().Done():
+		// Client gone: wound the submission, then wait for its terminal
+		// outcome so the engine is done with it before we return. Nobody
+		// is reading the response, but write a coherent one for proxies
+		// that still are.
+		wt.cancel()
+		<-wt.ch
+		w.WriteHeader(http.StatusServiceUnavailable)
+		return
+	}
 	switch {
 	case err == nil:
 	case errors.Is(err, core.ErrDraining):
@@ -444,11 +562,6 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	case errors.Is(err, core.ErrServiceStopped):
 		s.shedResponse(w, "service stopped")
-		return
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		// Client gone; the transaction was wounded. Nobody is reading the
-		// response, but write a coherent one for proxies that still are.
-		w.WriteHeader(http.StatusServiceUnavailable)
 		return
 	default:
 		s.badReqs.Add(1)
@@ -475,13 +588,54 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// was infeasible given the backlog. Fast 503, try again later.
 		s.rejected.Add(1)
 		status = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", s.retryAfterSecs())
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSecs()))
 	default: // dropped (drain wound)
 		status = http.StatusServiceUnavailable
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// outcomeErr pairs a terminal outcome with its error for channel
+// delivery.
+type outcomeErr struct {
+	o   core.ServiceOutcome
+	err error
+}
+
+// httpWaiter adapts one HTTP submission to the batcher's completion
+// interface: the handler goroutine parks on ch while the flusher and
+// engine do the work, and cancel wounds the submission on client
+// disconnect whether the handle has arrived yet or not.
+type httpWaiter struct {
+	ch chan outcomeErr
+
+	mu        sync.Mutex
+	h         core.SubmitHandle
+	cancelled bool
+}
+
+func (wt *httpWaiter) Complete(_ uint64, o core.ServiceOutcome, err error) {
+	wt.ch <- outcomeErr{o, err}
+}
+
+func (wt *httpWaiter) OnHandle(_ uint64, h core.SubmitHandle) {
+	wt.mu.Lock()
+	wt.h = h
+	cancelled := wt.cancelled
+	wt.mu.Unlock()
+	if cancelled {
+		h.Cancel()
+	}
+}
+
+func (wt *httpWaiter) cancel() {
+	wt.mu.Lock()
+	wt.cancelled = true
+	h := wt.h
+	wt.mu.Unlock()
+	h.Cancel()
 }
 
 // MetricsResponse is the GET /metrics body.
@@ -507,7 +661,11 @@ type MetricsResponse struct {
 	P99ResponseMs float64 `json:"p99_response_ms"`
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// metricsResponse builds the snapshot served by HTTP /metrics and the
+// wire protocol's metrics frame. The engine-side fields ride the same
+// 250ms stats cache as Retry-After derivation, so a metrics-polling
+// dashboard cannot add driver pressure during an overload.
+func (s *Server) metricsResponse() MetricsResponse {
 	resp := MetricsResponse{
 		Draining: s.svc.Draining(),
 		Accepted: s.accepted.Load(),
@@ -517,12 +675,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Panics:   s.panics.Load(),
 		Inflight: len(s.inflight),
 	}
-	if st, ok := s.svc.Stats(); ok {
+	if st, ok := s.cachedStats(); ok {
 		resp.Engine = st.Result
 		resp.Live = st.Live
 		resp.NowMs = ms(st.Now)
 	}
 	resp.P50ResponseMs, resp.P95ResponseMs, resp.P99ResponseMs = s.responsePercentiles()
+	return resp
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	resp := s.metricsResponse()
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
 }
@@ -542,26 +705,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) observeResponse(d time.Duration) {
 	v := ms(d)
 	s.respMu.Lock()
-	if len(s.respSamples) >= respWindow {
-		s.respSamples[s.respIdx] = v
-		s.respIdx = (s.respIdx + 1) % respWindow
-	} else {
-		s.respSamples = append(s.respSamples, v)
-	}
+	s.respHist.Observe(v)
 	s.respMu.Unlock()
 }
 
 func (s *Server) responsePercentiles() (p50, p95, p99 float64) {
 	s.respMu.Lock()
-	sorted := append([]float64(nil), s.respSamples...)
-	s.respMu.Unlock()
-	if len(sorted) == 0 {
+	defer s.respMu.Unlock()
+	if s.respHist.Count() == 0 {
 		return 0, 0, 0
 	}
-	sort.Float64s(sorted)
-	at := func(p float64) float64 {
-		i := int(p / 100 * float64(len(sorted)-1))
-		return sorted[i]
-	}
-	return at(50), at(95), at(99)
+	return s.respHist.Quantile(0.50), s.respHist.Quantile(0.95), s.respHist.Quantile(0.99)
 }

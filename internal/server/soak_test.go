@@ -32,7 +32,7 @@ func TestSoakOverload(t *testing.T) {
 	cfg := core.MainMemoryConfig(core.CCA, 42)
 	cfg.Admission = core.AdmissionConfig{Mode: core.RejectInfeasible}
 	opts := Options{
-		Core:         cfg,
+		Core: cfg,
 		// Speed 50 fixes the wall-clock service time of a transaction
 		// (2 items × 2 sim-ms = 80µs wall) independent of machine speed,
 		// so 24 tight-loop workers always outrun the engine's capacity and

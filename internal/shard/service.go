@@ -196,6 +196,87 @@ func (s *Service) Submit(ctx context.Context, req core.ServiceRequest) (core.Ser
 	}
 }
 
+// SubmitBatch is the batched ingestion path (see core.Service.SubmitBatch;
+// the contract is identical — every Submission.Done fires exactly once).
+// Single-shard submissions are grouped by home shard and injected with one
+// driver call per touched shard, so a batch of K requests costs at most
+// N driver wakeups instead of K. Cross-shard submissions join the normal
+// epoch queue; their handles cancel the whole fan-out via a shared
+// context.
+func (s *Service) SubmitBatch(subs []core.Submission) []core.SubmitHandle {
+	handles := make([]core.SubmitHandle, len(subs))
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		for i := range subs {
+			subs[i].Done(core.ServiceOutcome{}, core.ErrDraining)
+		}
+		return handles
+	}
+	s.mu.Unlock()
+
+	// Group by home shard; -1 marks cross-shard entries.
+	byShard := make([][]int, s.n)
+	for i := range subs {
+		mask := txn.ShardsTouched(subs[i].Req.Items, s.n)
+		if mask != 0 && mask&(mask-1) == 0 {
+			home := 0
+			for mask > 1 {
+				mask >>= 1
+				home++
+			}
+			byShard[home] = append(byShard[home], i)
+			continue
+		}
+		// Cross-shard (or empty — validation inside the shard rejects it):
+		// one epoch-queue entry with a cancellable fan-out context.
+		i := i
+		ctx, cancel := context.WithCancel(context.Background())
+		pc := &pendingCross{
+			ctx:   ctx,
+			parts: splitRequest(subs[i].Req, s.n),
+			out:   make(chan crossResult, 1),
+		}
+		if len(pc.parts) == 0 {
+			cancel()
+			subs[i].Done(core.ServiceOutcome{}, fmt.Errorf("core: transaction accesses no items"))
+			continue
+		}
+		handles[i] = core.CancelHandle(cancel)
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			cancel()
+			subs[i].Done(core.ServiceOutcome{}, core.ErrDraining)
+			continue
+		}
+		s.queue = append(s.queue, pc)
+		s.mu.Unlock()
+		go func() {
+			defer cancel()
+			select {
+			case r := <-pc.out:
+				subs[i].Done(r.outcome, r.err)
+			case <-s.stopCh:
+				subs[i].Done(core.ServiceOutcome{}, core.ErrServiceStopped)
+			}
+		}()
+	}
+	for shard, idxs := range byShard {
+		if len(idxs) == 0 {
+			continue
+		}
+		group := make([]core.Submission, len(idxs))
+		for k, i := range idxs {
+			group[k] = subs[i]
+		}
+		for k, h := range s.svcs[shard].SubmitBatch(group) {
+			handles[idxs[k]] = h
+		}
+	}
+	return handles
+}
+
 // flush drains the cross-shard queue: each queued request fans out to its
 // shards concurrently (a slow shard must not serialise the whole batch),
 // but the queue is dispatched in FIFO order so same-epoch requests reach

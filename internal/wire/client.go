@@ -1,0 +1,302 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClientClosed reports a request issued on (or orphaned by) a closed
+// connection.
+var ErrClientClosed = errors.New("wire: client closed")
+
+// clientResp is what the reader goroutine delivers to a waiter.
+type clientResp struct {
+	typ    uint8
+	resp   SubmitResp
+	health HealthResp
+	body   []byte // copied MetricsResp payload
+	msg    string // FrameError payload
+}
+
+// Client is a pipelined wire-protocol client over one persistent TCP
+// connection. It is safe for concurrent use: many goroutines can have
+// submissions in flight at once, writes are coalesced by a flusher so
+// concurrent submitters share syscalls, and a reader goroutine fans the
+// out-of-order responses back to their waiters by request id.
+type Client struct {
+	nc     net.Conn
+	nextID atomic.Uint64
+
+	wmu  sync.Mutex // guards bw and wbuf
+	bw   *bufWriter
+	wbuf []byte
+
+	kick chan struct{}
+
+	mu      sync.Mutex
+	waiters map[uint64]chan clientResp
+	err     error // set once broken/closed
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// bufWriter is the minimal buffered-writer surface Client needs; split
+// out so tests can interpose.
+type bufWriter struct {
+	nc  net.Conn
+	buf []byte
+}
+
+func (w *bufWriter) write(p []byte) {
+	w.buf = append(w.buf, p...)
+}
+
+func (w *bufWriter) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	_, err := w.nc.Write(w.buf)
+	w.buf = w.buf[:0]
+	return err
+}
+
+// Dial connects to a wire server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return NewClient(nc), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(nc net.Conn) *Client {
+	c := &Client{
+		nc:      nc,
+		bw:      &bufWriter{nc: nc},
+		kick:    make(chan struct{}, 1),
+		waiters: make(map[uint64]chan clientResp),
+		done:    make(chan struct{}),
+	}
+	c.wg.Add(2)
+	go c.readLoop()
+	go c.flushLoop()
+	return c
+}
+
+// Close tears the connection down; in-flight requests fail with
+// ErrClientClosed.
+func (c *Client) Close() error {
+	c.fail(ErrClientClosed)
+	c.wg.Wait()
+	return nil
+}
+
+// fail marks the client broken, closes the socket and releases every
+// waiter. Idempotent; the first error wins.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+		close(c.done)
+		c.nc.Close()
+	}
+	ws := c.waiters
+	c.waiters = make(map[uint64]chan clientResp)
+	c.mu.Unlock()
+	for _, ch := range ws {
+		close(ch)
+	}
+}
+
+func (c *Client) brokenErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// register installs a waiter for a fresh request id.
+func (c *Client) register() (uint64, chan clientResp, error) {
+	id := c.nextID.Add(1)
+	ch := make(chan clientResp, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return 0, nil, err
+	}
+	c.waiters[id] = ch
+	c.mu.Unlock()
+	return id, ch, nil
+}
+
+func (c *Client) unregister(id uint64) {
+	c.mu.Lock()
+	delete(c.waiters, id)
+	c.mu.Unlock()
+}
+
+// enqueue appends one encoded frame to the shared write buffer and
+// kicks the flusher. append is the caller-supplied encoder so the hot
+// path reuses the client's scratch buffer under the write lock.
+func (c *Client) enqueue(enc func(buf []byte) []byte) error {
+	c.wmu.Lock()
+	c.wbuf = enc(c.wbuf[:0])
+	c.bw.write(c.wbuf)
+	c.wmu.Unlock()
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+func (c *Client) flushLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.kick:
+			c.wmu.Lock()
+			err := c.bw.flush()
+			c.wmu.Unlock()
+			if err != nil {
+				c.fail(fmt.Errorf("wire: write: %w", err))
+				return
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	fr := NewFrameReader(c.nc, DefaultMaxFrame)
+	for {
+		h, p, err := fr.Next()
+		if err != nil {
+			select {
+			case <-c.done:
+				err = ErrClientClosed
+			default:
+			}
+			c.fail(err)
+			return
+		}
+		var cr clientResp
+		cr.typ = h.Type
+		switch h.Type {
+		case FrameSubmitResp:
+			if err := DecodeSubmitResp(p, &cr.resp); err != nil {
+				c.fail(err)
+				return
+			}
+		case FrameHealthResp:
+			if err := DecodeHealthResp(p, &cr.health); err != nil {
+				c.fail(err)
+				return
+			}
+		case FrameMetricsResp:
+			cr.body = append([]byte(nil), p...)
+		case FrameError:
+			cr.msg = string(p)
+		default:
+			c.fail(fmt.Errorf("wire: unexpected frame type %#x", h.Type))
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.waiters[h.ID]
+		if ok {
+			delete(c.waiters, h.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- cr
+		}
+	}
+}
+
+// Submit sends one submission and waits for its response. Concurrent
+// calls pipeline over the single connection.
+func (c *Client) Submit(req *SubmitReq) (SubmitResp, error) {
+	id, ch, err := c.register()
+	if err != nil {
+		return SubmitResp{}, err
+	}
+	if err := c.enqueue(func(buf []byte) []byte {
+		return AppendSubmit(buf, id, req)
+	}); err != nil {
+		c.unregister(id)
+		return SubmitResp{}, err
+	}
+	cr, ok := <-ch
+	if !ok {
+		return SubmitResp{}, c.brokenErr()
+	}
+	if cr.typ == FrameError {
+		return SubmitResp{}, fmt.Errorf("wire: server error: %s", cr.msg)
+	}
+	if cr.typ != FrameSubmitResp {
+		return SubmitResp{}, fmt.Errorf("wire: unexpected response type %#x", cr.typ)
+	}
+	return cr.resp, nil
+}
+
+// Metrics fetches the server's metrics snapshot (the same JSON document
+// the HTTP endpoint serves).
+func (c *Client) Metrics() ([]byte, error) {
+	id, ch, err := c.register()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.enqueue(func(buf []byte) []byte {
+		return AppendMetricsReq(buf, id)
+	}); err != nil {
+		c.unregister(id)
+		return nil, err
+	}
+	cr, ok := <-ch
+	if !ok {
+		return nil, c.brokenErr()
+	}
+	if cr.typ == FrameError {
+		return nil, fmt.Errorf("wire: server error: %s", cr.msg)
+	}
+	if cr.typ != FrameMetricsResp {
+		return nil, fmt.Errorf("wire: unexpected response type %#x", cr.typ)
+	}
+	return cr.body, nil
+}
+
+// Health probes the server.
+func (c *Client) Health() (HealthResp, error) {
+	id, ch, err := c.register()
+	if err != nil {
+		return HealthResp{}, err
+	}
+	if err := c.enqueue(func(buf []byte) []byte {
+		return AppendHealthReq(buf, id)
+	}); err != nil {
+		c.unregister(id)
+		return HealthResp{}, err
+	}
+	cr, ok := <-ch
+	if !ok {
+		return HealthResp{}, c.brokenErr()
+	}
+	if cr.typ != FrameHealthResp {
+		return HealthResp{}, fmt.Errorf("wire: unexpected response type %#x", cr.typ)
+	}
+	return cr.health, nil
+}

@@ -1,0 +1,56 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/txn"
+)
+
+// FuzzWireRoundTrip feeds arbitrary bytes to the submit-payload decoder.
+// The decoder must never panic; when it accepts a payload, re-encoding
+// the decoded request must produce a payload that decodes to the same
+// request (the canonical-encoding fixed point). The seed corpus under
+// testdata/fuzz covers every optional-field shape.
+func FuzzWireRoundTrip(f *testing.F) {
+	for _, req := range submitFixturesF() {
+		frame := AppendSubmit(nil, 1, &req)
+		f.Add(frame[headerLen:])
+	}
+	f.Add([]byte{})
+	f.Add(make([]byte, 29))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var req SubmitReq
+		if err := DecodeSubmit(payload, &req); err != nil {
+			return
+		}
+		if req.Compute <= 0 || req.Deadline <= 0 {
+			t.Fatalf("decoder accepted non-positive durations: %+v", req)
+		}
+		frame := AppendSubmit(nil, 99, &req)
+		var again SubmitReq
+		if err := DecodeSubmit(frame[headerLen:], &again); err != nil {
+			t.Fatalf("re-encoded payload rejected: %v\nreq: %+v", err, req)
+		}
+		if !reflect.DeepEqual(req, again) {
+			t.Fatalf("round trip diverged:\n first  %+v\n second %+v", req, again)
+		}
+	})
+}
+
+// submitFixturesF mirrors submitFixtures but adds degenerate shapes the
+// fuzzer should start from.
+func submitFixturesF() []SubmitReq {
+	fx := submitFixtures()
+	fx = append(fx,
+		SubmitReq{Items: []txn.Item{0}, Compute: 1, Deadline: 1},
+		SubmitReq{
+			Items:   make([]txn.Item, 17),
+			NeedsIO: make([]bool, 17),
+			Compute: time.Hour, Deadline: time.Hour,
+		},
+	)
+	return fx
+}

@@ -1,0 +1,544 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/txn"
+)
+
+// Backend is what the wire server needs from the serving stack. The
+// HTTP server's batcher implements it, so both front-ends shed, drain
+// and report through exactly the same admission machinery.
+type Backend interface {
+	// Enqueue hands one submission to the serving path. It must not
+	// block; false means the request was shed (queues full / draining)
+	// and nothing will be called back. On true, c.Complete(id, ...) fires
+	// exactly once with the terminal outcome or error, and c.OnHandle
+	// may fire once (before or after Complete) with a cancel handle.
+	Enqueue(id uint64, req core.ServiceRequest, c Completer) bool
+	// RetryAfterSecs is the admission-derived backoff hint attached to
+	// shed and rejected responses. It may block briefly (it is only
+	// called from connection reader/writer goroutines, never from the
+	// engine driver).
+	RetryAfterSecs() int
+	// Draining reports whether the service has begun its shutdown drain.
+	Draining() bool
+	// HealthErr reports nil when the service is live.
+	HealthErr() error
+	// MetricsBody renders the same JSON document HTTP /metrics serves.
+	MetricsBody() ([]byte, error)
+}
+
+// Completer receives the outcome of an enqueued submission. Both
+// methods may be invoked on the engine's driver goroutine and must not
+// block.
+type Completer interface {
+	Complete(id uint64, o core.ServiceOutcome, err error)
+	OnHandle(id uint64, h core.SubmitHandle)
+}
+
+// ServerOptions tune the wire front-end; zero values pick defaults.
+type ServerOptions struct {
+	// MaxInflightPerConn caps pipelined submissions per connection;
+	// excess submits are shed with a Retry-After. Default 1024.
+	MaxInflightPerConn int
+	// MaxFrame bounds one frame. Default DefaultMaxFrame.
+	MaxFrame int
+	// FlushTimeout bounds each socket write/flush. Default 10s.
+	FlushTimeout time.Duration
+}
+
+// Counters is a point-in-time view of the wire front-end's traffic.
+type Counters struct {
+	Conns     int   // currently open connections
+	Submits   int64 // submissions handed to the backend
+	Shed      int64 // submissions refused before reaching the engine
+	BadFrames int64 // submit frames that failed to decode
+}
+
+// Server serves the wire protocol over persistent pipelined TCP
+// connections. Each connection gets a reader goroutine (decode, shed or
+// enqueue) and a writer goroutine (encode responses, flushing only when
+// its queue momentarily drains — the batching that makes pipelining
+// pay). Responses stream back in completion order, not arrival order.
+type Server struct {
+	b           Backend
+	maxInflight int
+	maxFrame    int
+	flushEvery  time.Duration
+
+	submits   atomic.Int64
+	shed      atomic.Int64
+	badFrames atomic.Int64
+
+	mu     sync.Mutex
+	conns  map[*conn]struct{}
+	lns    map[net.Listener]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer builds a wire server over b.
+func NewServer(b Backend, opt ServerOptions) *Server {
+	if opt.MaxInflightPerConn <= 0 {
+		opt.MaxInflightPerConn = 1024
+	}
+	if opt.MaxFrame <= 0 {
+		opt.MaxFrame = DefaultMaxFrame
+	}
+	if opt.FlushTimeout <= 0 {
+		opt.FlushTimeout = 10 * time.Second
+	}
+	return &Server{
+		b:           b,
+		maxInflight: opt.MaxInflightPerConn,
+		maxFrame:    opt.MaxFrame,
+		flushEvery:  opt.FlushTimeout,
+		conns:       make(map[*conn]struct{}),
+		lns:         make(map[net.Listener]struct{}),
+	}
+}
+
+// Counters snapshots the traffic counters.
+func (s *Server) Counters() Counters {
+	s.mu.Lock()
+	n := len(s.conns)
+	s.mu.Unlock()
+	return Counters{
+		Conns:     n,
+		Submits:   s.submits.Load(),
+		Shed:      s.shed.Load(),
+		BadFrames: s.badFrames.Load(),
+	}
+}
+
+// Serve accepts connections on ln until the listener fails or the
+// server shuts down (which returns nil).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil
+	}
+	s.lns[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.lns, ln)
+		s.mu.Unlock()
+	}()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.startConn(nc)
+	}
+}
+
+func (s *Server) startConn(nc net.Conn) {
+	c := &conn{
+		srv:      s,
+		nc:       nc,
+		out:      make(chan outFrame, s.maxInflight+64),
+		stop:     make(chan struct{}),
+		inflight: make(map[uint64]core.SubmitHandle),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		nc.Close()
+		return
+	}
+	s.conns[c] = struct{}{}
+	s.wg.Add(2)
+	s.mu.Unlock()
+	go c.readLoop()
+	go c.writeLoop()
+}
+
+// Shutdown drains gracefully: it stops accepting, waits (bounded by
+// ctx) for every pipelined submission to complete and its response to
+// be written, then closes all connections. In-flight transactions are
+// resolved by the service's own Drain before this is called, so the
+// wait is for response delivery, not for work.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	for ln := range s.lns {
+		ln.Close()
+	}
+	s.mu.Unlock()
+
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	var err error
+wait:
+	for !s.idle() {
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+			break wait
+		case <-tick.C:
+		}
+	}
+
+	s.mu.Lock()
+	cs := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		cs = append(cs, c)
+	}
+	s.mu.Unlock()
+	for _, c := range cs {
+		c.close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Close tears everything down immediately, wounding in-flight work.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.Shutdown(ctx)
+	if errors.Is(err, context.Canceled) {
+		err = nil
+	}
+	return err
+}
+
+// idle reports whether every connection has delivered a response for
+// every accepted submission.
+func (s *Server) idle() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.conns {
+		if !c.drained() {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// --- connection ---------------------------------------------------------
+
+// outFrame is one queued response. It travels by value so the response
+// path allocates nothing beyond what the encoded payload itself needs.
+type outFrame struct {
+	id        uint64
+	typ       uint8
+	resp      SubmitResp
+	health    HealthResp
+	body      []byte // FrameMetricsResp payload
+	msg       string // FrameError payload
+	needRetry bool   // fill resp.RetryAfter at encode time (writer side)
+}
+
+type conn struct {
+	srv  *Server
+	nc   net.Conn
+	out  chan outFrame
+	stop chan struct{}
+
+	closeOnce sync.Once
+	closed    atomic.Bool
+
+	mu       sync.Mutex
+	dead     bool
+	inflight map[uint64]core.SubmitHandle
+
+	enq   atomic.Int64 // responses queued to out
+	wrote atomic.Int64 // responses written by the writer
+}
+
+func (c *conn) drained() bool {
+	c.mu.Lock()
+	n := len(c.inflight)
+	c.mu.Unlock()
+	return n == 0 && c.enq.Load() == c.wrote.Load()
+}
+
+// close is idempotent and safe from any goroutine, including the engine
+// driver (handle cancellation only enqueues a driver call). The writer
+// owns the socket close so queued responses get a best-effort flush.
+func (c *conn) close() {
+	c.closeOnce.Do(func() {
+		c.closed.Store(true)
+		c.mu.Lock()
+		c.dead = true
+		hs := make([]core.SubmitHandle, 0, len(c.inflight))
+		for _, h := range c.inflight {
+			hs = append(hs, h)
+		}
+		c.inflight = make(map[uint64]core.SubmitHandle)
+		c.mu.Unlock()
+		for _, h := range hs {
+			h.Cancel()
+		}
+		close(c.stop)
+		// Wake a reader blocked in Read; the writer closes the socket.
+		c.nc.SetReadDeadline(time.Now())
+		c.srv.removeConn(c)
+	})
+}
+
+// track registers a submission id; false means the pipeline is at
+// capacity (or the id is already in flight, which is a client bug
+// treated the same way).
+func (c *conn) track(id uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead || len(c.inflight) >= c.srv.maxInflight {
+		return false
+	}
+	if _, dup := c.inflight[id]; dup {
+		return false
+	}
+	c.inflight[id] = core.SubmitHandle{}
+	return true
+}
+
+func (c *conn) finish(id uint64) {
+	c.mu.Lock()
+	delete(c.inflight, id)
+	c.mu.Unlock()
+}
+
+// send queues a response. The queue is sized so completions can never
+// overflow it; overflow therefore means the peer stopped reading while
+// still issuing control frames, and the connection is dropped.
+func (c *conn) send(f outFrame) {
+	if c.closed.Load() {
+		return
+	}
+	select {
+	case c.out <- f:
+		c.enq.Add(1)
+	default:
+		c.close()
+	}
+}
+
+// Complete implements Completer: map the engine outcome (or refusal) to
+// a SubmitResp. Runs on the driver goroutine; must not block, and the
+// Retry-After lookup is deferred to the writer for that reason.
+func (c *conn) Complete(id uint64, o core.ServiceOutcome, err error) {
+	c.finish(id)
+	f := outFrame{id: id, typ: FrameSubmitResp}
+	switch {
+	case err == nil:
+		switch o.State {
+		case core.StateCommitted:
+			f.resp.Status = StatusCommitted
+		case core.StateRejected:
+			f.resp.Status = StatusRejected
+			f.needRetry = true
+		default:
+			f.resp.Status = StatusDropped
+		}
+		f.resp.Missed = o.Missed
+		f.resp.Restarts = uint32(o.Restarts)
+		f.resp.Arrival = o.Arrival
+		f.resp.Finish = o.Finish
+		f.resp.Deadline = o.Deadline
+		f.resp.Response = o.Response
+	case errors.Is(err, core.ErrDraining) || errors.Is(err, core.ErrServiceStopped):
+		f.resp.Status = StatusShed
+		f.resp.Err = err.Error()
+		f.needRetry = true
+		c.srv.shed.Add(1)
+	default:
+		f.resp.Status = StatusInvalid
+		f.resp.Err = err.Error()
+	}
+	c.send(f)
+}
+
+// OnHandle implements Completer. If the connection died between enqueue
+// and handle delivery, wound the orphan immediately.
+func (c *conn) OnHandle(id uint64, h core.SubmitHandle) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		h.Cancel()
+		return
+	}
+	if _, ok := c.inflight[id]; ok {
+		c.inflight[id] = h
+	}
+	c.mu.Unlock()
+}
+
+func (c *conn) shed(id uint64, reason string) {
+	c.srv.shed.Add(1)
+	c.send(outFrame{
+		id: id, typ: FrameSubmitResp,
+		resp:      SubmitResp{Status: StatusShed, Err: reason},
+		needRetry: true,
+	})
+}
+
+func (c *conn) readLoop() {
+	defer c.srv.wg.Done()
+	defer c.close()
+	fr := NewFrameReader(c.nc, c.srv.maxFrame)
+	var req SubmitReq // reused across frames: the zero-alloc decode path
+	for {
+		h, p, err := fr.Next()
+		if err != nil {
+			return
+		}
+		switch h.Type {
+		case FrameSubmit:
+			c.handleSubmit(h.ID, p, &req)
+		case FrameMetrics:
+			body, err := c.srv.b.MetricsBody()
+			if err != nil {
+				c.send(outFrame{id: h.ID, typ: FrameError, msg: err.Error()})
+				continue
+			}
+			c.send(outFrame{id: h.ID, typ: FrameMetricsResp, body: body})
+		case FrameHealth:
+			hr := HealthResp{Healthy: true, Draining: c.srv.b.Draining()}
+			if herr := c.srv.b.HealthErr(); herr != nil {
+				hr.Healthy = false
+				hr.Err = herr.Error()
+			}
+			c.send(outFrame{id: h.ID, typ: FrameHealthResp, health: hr})
+		default:
+			c.send(outFrame{id: h.ID, typ: FrameError, msg: "wire: unknown frame type"})
+		}
+	}
+}
+
+func (c *conn) handleSubmit(id uint64, p []byte, req *SubmitReq) {
+	if err := DecodeSubmit(p, req); err != nil {
+		c.srv.badFrames.Add(1)
+		c.send(outFrame{
+			id: id, typ: FrameSubmitResp,
+			resp: SubmitResp{Status: StatusInvalid, Err: err.Error()},
+		})
+		return
+	}
+	if c.srv.b.Draining() {
+		c.shed(id, "server draining")
+		return
+	}
+	if !c.track(id) {
+		c.shed(id, "connection pipeline full")
+		return
+	}
+	// The decode buffers are reused on the next frame; the engine owns
+	// the request until it reaches a terminal state, so copy.
+	sreq := core.ServiceRequest{
+		Items:       append([]txn.Item(nil), req.Items...),
+		Compute:     req.Compute,
+		Deadline:    req.Deadline,
+		Criticality: req.Criticality,
+		Class:       req.Class,
+	}
+	if req.Reads != nil {
+		sreq.Reads = append([]bool(nil), req.Reads...)
+	}
+	if req.NeedsIO != nil {
+		sreq.NeedsIO = append([]bool(nil), req.NeedsIO...)
+	}
+	if !c.srv.b.Enqueue(id, sreq, c) {
+		c.finish(id)
+		c.shed(id, "service overloaded")
+		return
+	}
+	c.srv.submits.Add(1)
+}
+
+func (c *conn) writeLoop() {
+	defer c.srv.wg.Done()
+	bw := bufio.NewWriterSize(c.nc, 64<<10)
+	var buf []byte
+	write := func(f *outFrame) bool {
+		buf = c.encode(buf[:0], f)
+		c.nc.SetWriteDeadline(time.Now().Add(c.srv.flushEvery))
+		if _, err := bw.Write(buf); err != nil {
+			return false
+		}
+		c.wrote.Add(1)
+		return true
+	}
+	for {
+		select {
+		case f := <-c.out:
+			if !write(&f) {
+				c.close()
+				c.nc.Close()
+				return
+			}
+			// Flush only once the queue momentarily drains: under load,
+			// many responses share one syscall.
+			if len(c.out) == 0 {
+				if err := bw.Flush(); err != nil {
+					c.close()
+					c.nc.Close()
+					return
+				}
+			}
+		case <-c.stop:
+			// Best-effort delivery of whatever is already queued.
+			for {
+				select {
+				case f := <-c.out:
+					if !write(&f) {
+						c.nc.Close()
+						return
+					}
+				default:
+					bw.Flush()
+					c.nc.Close()
+					return
+				}
+			}
+		}
+	}
+}
+
+func (c *conn) encode(buf []byte, f *outFrame) []byte {
+	switch f.typ {
+	case FrameSubmitResp:
+		if f.needRetry {
+			ra := c.srv.b.RetryAfterSecs()
+			if ra < 0 {
+				ra = 1
+			}
+			if ra > 0xffff {
+				ra = 0xffff
+			}
+			f.resp.RetryAfter = uint16(ra)
+		}
+		return AppendSubmitResp(buf, f.id, &f.resp)
+	case FrameMetricsResp:
+		return AppendMetricsResp(buf, f.id, f.body)
+	case FrameHealthResp:
+		return AppendHealthResp(buf, f.id, &f.health)
+	default:
+		return AppendError(buf, f.id, f.msg)
+	}
+}
