@@ -49,7 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		addr      = fs.String("addr", "127.0.0.1:8344", "listen address")
-		policy    = fs.String("policy", "cca", "scheduling policy: cca, edf-hp, edf-wp, lsf-hp, fcfs")
+		policy    = fs.String("policy", "cca", "scheduling policy: cca, cca-p, cca-t, edf-hp, edf-wp, lsf-hp, fcfs")
 		disk      = fs.Bool("disk", false, "disk-resident configuration (Table 2) instead of main memory (Table 1)")
 		dbsize    = fs.Int("dbsize", 0, "database size (0 = paper default)")
 		cpus      = fs.Int("cpus", 1, "number of CPUs")
@@ -67,6 +67,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		oracle      = fs.Bool("oracle", false, "run under the live safety oracle: a violated paper invariant fails /healthz and stops the service")
 		shards      = fs.Int("shards", 1, "engine shards (item i lives on shard i%N); single-shard submissions route directly, cross-shard ones batch at epoch boundaries")
 		epoch       = fs.Duration("epoch", 0, "cross-shard epoch interval in simulated time (0 = default; only with -shards > 1)")
+
+		predScale = fs.Float64("predict-scale", -1, "cca-p/cca-t: observed-conflict-rate penalty scale (-1 = default)")
+		predDecay = fs.Float64("predict-decay", -1, "cca-p/cca-t: per-window statistics decay in [0,1] (-1 = default)")
+		feedback  = fs.Int("feedback", 0, "cca-t: terminal decisions per tuner feedback window (0 = default)")
+		tunerStep = fs.Float64("tuner-step", 0, "cca-t: initial hill-climb step for the penalty weight (0 = default)")
+		tunerMax  = fs.Float64("tuner-max", 0, "cca-t: upper clamp for the tuned weight (0 = default)")
+		epsilon   = fs.Float64("epsilon", 0, "cca-t: ε-greedy exploration probability")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -88,6 +95,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mode = core.AdmitAll
 	}
 	cfg.Admission = core.AdmissionConfig{Mode: mode, MaxLive: *admMax}
+	if cfg.Policy == core.CCAP || cfg.Policy == core.CCAT {
+		p := core.DefaultPredictConfig()
+		if *predScale >= 0 {
+			p.RateScale = *predScale
+		}
+		if *predDecay >= 0 {
+			p.Decay = *predDecay
+		}
+		if *feedback > 0 {
+			p.FeedbackWindow = *feedback
+		}
+		if *tunerStep > 0 {
+			p.TunerStep = *tunerStep
+		}
+		if *tunerMax > 0 {
+			p.TunerMax = *tunerMax
+		}
+		p.Epsilon = *epsilon
+		cfg.Predict = p
+	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintf(stderr, "rtserve: %v\n", err)
 		return 2

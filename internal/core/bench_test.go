@@ -92,6 +92,52 @@ func BenchmarkEDFHPBaseNaiveDispatch(b *testing.B) {
 	benchRun(b, cfg)
 }
 
+// The predict-policy pair isolates the cost of the conflict-prediction
+// term: CCA-P with live stats (observed-rate penalty scaling + decision
+// tap feeding the table) against stock CCA on the same workload. The
+// acceptance floor is throughput ≥0.9× stock — prediction must ride the
+// memoised dispatch pass, not defeat it.
+func BenchmarkCCAPBaseFast(b *testing.B) {
+	cfg := benchCCAConfig(30, 300, 8, false, false)
+	cfg.Policy = CCAP
+	cfg.Predict = DefaultPredictConfig()
+	benchRun(b, cfg)
+}
+
+func BenchmarkCCATBaseFast(b *testing.B) {
+	cfg := benchCCAConfig(30, 300, 8, false, false)
+	cfg.Policy = CCAT
+	cfg.Predict = DefaultPredictConfig()
+	benchRun(b, cfg)
+}
+
+// TestObserverTapZeroAlloc pins the decision-tap cost with no observer
+// attached: every notify helper must be a nil-check and nothing else —
+// zero allocations on the hot paths that wound, block, restart and commit
+// take.
+func TestObserverTapZeroAlloc(t *testing.T) {
+	cfg := benchCCAConfig(30, 50, 8, false, false)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.obs != nil {
+		t.Fatal("stock CCA engine has an observer attached")
+	}
+	if len(e.all) < 2 {
+		t.Fatal("workload too small")
+	}
+	a, b := e.all[0], e.all[1]
+	if allocs := testing.AllocsPerRun(100, func() {
+		e.notifyWound(a, b)
+		e.notifyBlock(a, b)
+		e.notifyRestart(a)
+		e.notifyTerminal(a, true, false)
+	}); allocs != 0 {
+		t.Fatalf("observer tap with no observer allocates %.1f times per cycle", allocs)
+	}
+}
+
 // benchModeResult is one engine mode's measurement in BENCH_core.json.
 type benchModeResult struct {
 	Ms       float64 `json:"ms"`
@@ -150,9 +196,14 @@ func TestWriteBenchBaseline(t *testing.T) {
 		{"large-db-high-mpl", 8192, 400, 25},
 	}
 	out := struct {
-		Note    string               `json:"note"`
-		Refresh string               `json:"refresh"`
-		Cases   []benchBaselineEntry `json:"cases"`
+		Note          string               `json:"note"`
+		Refresh       string               `json:"refresh"`
+		Cases         []benchBaselineEntry `json:"cases"`
+		PredictPolicy struct {
+			CCAMs           float64 `json:"cca_ms"`
+			CCAPMs          float64 `json:"ccap_ms"`
+			ThroughputRatio float64 `json:"throughput_ratio_vs_cca"`
+		} `json:"predict_policy"`
 	}{
 		Note:    "CCA engine wall time and allocations per full run: fast (incremental dispatch + conflict index + pooled calendar) vs naive_dispatch (index only) vs naive_full (original seed engine); measured by testing.Benchmark",
 		Refresh: "BENCH_BASELINE=1 go test ./internal/core -run TestWriteBenchBaseline",
@@ -188,6 +239,23 @@ func TestWriteBenchBaseline(t *testing.T) {
 			}
 		}
 	}
+	// Predict-policy dispatch overhead: CCA-P with live stats vs stock CCA
+	// on the base configuration. Acceptance floor: ≥0.9× stock throughput.
+	ccaMs := measure(benchCCAConfig(30, 300, 8, false, false)).Ms
+	ccapCfg := benchCCAConfig(30, 300, 8, false, false)
+	ccapCfg.Policy = CCAP
+	ccapCfg.Predict = DefaultPredictConfig()
+	ccapMs := measure(ccapCfg).Ms
+	out.PredictPolicy.CCAMs = ccaMs
+	out.PredictPolicy.CCAPMs = ccapMs
+	if ccapMs > 0 {
+		out.PredictPolicy.ThroughputRatio = ccaMs / ccapMs
+	}
+	t.Logf("predict-policy: cca %.1fms, cca-p %.1fms → throughput ratio %.2fx", ccaMs, ccapMs, out.PredictPolicy.ThroughputRatio)
+	if out.PredictPolicy.ThroughputRatio < 0.9 {
+		t.Errorf("predict-policy: cca-p throughput %.2fx stock CCA < 0.9x acceptance floor", out.PredictPolicy.ThroughputRatio)
+	}
+
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		t.Fatal(err)

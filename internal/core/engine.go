@@ -134,6 +134,9 @@ type Engine struct {
 	trace func(format string, args ...any)
 	// rec, when non-nil, receives structured events (internal/trace).
 	rec trace.Recorder
+	// obs, when non-nil, receives scheduler decisions (observer.go). A
+	// policy implementing DecisionObserver is attached automatically.
+	obs DecisionObserver
 }
 
 // New builds an engine for the configuration. The workload is generated
@@ -222,6 +225,9 @@ func newEngine(cfg Config, wl *workload.Workload) (*Engine, error) {
 	e.evalMode = e.policy.Staticness()
 	if e.evalMode == EvalConflictClocked && e.ci == nil {
 		e.evalMode = EvalDynamic
+	}
+	if o, ok := e.policy.(DecisionObserver); ok {
+		e.obs = o
 	}
 	if !cfg.Fault.Zero() {
 		// One shared injector: draws happen in simulation-event order
@@ -826,6 +832,9 @@ func (e *Engine) startItem(t *Txn) {
 			}
 		}
 		if !woundAll {
+			for _, h := range holders {
+				e.notifyBlock(t, e.all[int(h)])
+			}
 			e.block(t, item, mode)
 			return
 		}
@@ -835,6 +844,7 @@ func (e *Engine) startItem(t *Txn) {
 			e.tracef("T%d wounds T%d on item %d (victim service %.1fms)", t.ID(), v.ID(), item, ms(v.service))
 			e.emit(trace.Event{Kind: trace.Wound, Txn: t.ID(), Other: v.ID(), Item: item,
 				Priority: t.priority, OtherPriority: v.priority})
+			e.notifyWound(t, v)
 			e.abort(v)
 		}
 	}
@@ -959,6 +969,7 @@ func (e *Engine) commit(t *Txn) {
 	if o, ok := e.policy.(commitObserver); ok {
 		o.observeCommit(e, t, time.Duration(t.finish) > t.Spec.Deadline)
 	}
+	e.notifyTerminal(t, true, time.Duration(t.finish) > t.Spec.Deadline)
 	e.run.Elapsed = time.Duration(t.finish)
 	if e.trace != nil {
 		e.tracef("T%d commits (lateness %.1fms, restarts %d)", t.ID(), ms(time.Duration(t.finish)-t.Spec.Deadline), t.restarts)
@@ -1007,6 +1018,7 @@ func (e *Engine) drop(t *Txn) {
 	if o, ok := e.policy.(commitObserver); ok {
 		o.observeCommit(e, t, true)
 	}
+	e.notifyTerminal(t, false, true)
 	now := time.Duration(e.sim.Now())
 	if now > e.run.Elapsed {
 		e.run.Elapsed = now
@@ -1064,6 +1076,7 @@ func (e *Engine) abort(v *Txn) {
 		e.run.NoncontributingAborts++
 	}
 	v.restarts++
+	e.notifyRestart(v)
 
 	deferRestart := v.state == StateIOWait && v.ioReq != nil && v.ioReq.InService()
 	e.detach(v)
@@ -1145,6 +1158,7 @@ func (e *Engine) hasAcquired(t *Txn, item txn.Item) {
 func (e *Engine) setMight(t *Txn, b bitset) {
 	t.might = b
 	t.penaltyGen = 0
+	t.predGen = 0
 	t.evalGen = 0
 }
 
@@ -1657,7 +1671,7 @@ func (e *Engine) checkInvariants() {
 		case StateCommitted:
 			panic(fmt.Sprintf("core: committed T%d still live", t.ID()))
 		}
-		if t.state == StateLockWait && e.policy.Kind() == CCA {
+		if t.state == StateLockWait && isCCAFamily(e.policy.Kind()) {
 			panic("core: Theorem 1 violated — lock wait under CCA")
 		}
 		if t.state == StateAborting && t.has.any() {
@@ -1678,7 +1692,7 @@ func (e *Engine) checkInvariants() {
 			panic(fmt.Sprintf("core: T%d has %d pending writes after %d updates", t.ID(), e.store.Pending(db.TxnID(t.ID())), t.next))
 		}
 	}
-	if e.policy.Kind() == CCA && e.run.LockWaits > 0 {
+	if isCCAFamily(e.policy.Kind()) && e.run.LockWaits > 0 {
 		panic("core: Theorem 1 violated — CCA recorded lock waits")
 	}
 	// With exclusive locks only, EDF-HP/FCFS waits always point at

@@ -76,6 +76,10 @@ func newPolicy(c Config) Policy {
 		return pcpPolicy{}
 	case FCFS:
 		return fcfsPolicy{}
+	case CCAP:
+		return newCCAPPolicy(c)
+	case CCAT:
+		return newCCATPolicy(c)
 	default:
 		panic(fmt.Sprintf("core: unknown policy %q", c.Policy))
 	}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/history"
 	"repro/internal/lock"
 	"repro/internal/metrics"
+	"repro/internal/predict"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/txn"
@@ -156,6 +157,9 @@ type ServiceStats struct {
 	Live int
 	// Now is the current service-clock time.
 	Now time.Duration
+	// Predict is the conflict-prediction snapshot (CCAP/CCAT policies
+	// only; nil otherwise).
+	Predict *PredictSnapshot
 }
 
 // Service is a wall-clock transaction service over one Engine.
@@ -196,6 +200,9 @@ func NewService(cfg Config, opt ServiceOptions) (*Service, error) {
 	e.evalMode = e.policy.Staticness()
 	if e.evalMode == EvalConflictClocked && e.ci == nil {
 		e.evalMode = EvalDynamic
+	}
+	if o, ok := e.policy.(DecisionObserver); ok {
+		e.obs = o
 	}
 	if !cfg.Fault.Zero() {
 		e.fault = fault.NewInjector(cfg.Seed, cfg.Fault)
@@ -396,11 +403,15 @@ func (s *Service) InjectEvent(ev trace.Event) error {
 func (s *Service) Stats() (ServiceStats, bool) {
 	ch := make(chan ServiceStats, 1)
 	if err := s.rt.Call(func() {
-		ch <- ServiceStats{
+		st := ServiceStats{
 			Result: s.e.run.Result(),
 			Live:   len(s.e.live),
 			Now:    time.Duration(s.e.sim.Now()),
 		}
+		if ps, ok := s.e.PredictSnapshot(); ok {
+			st.Predict = &ps
+		}
+		ch <- st
 	}); err != nil {
 		return ServiceStats{}, false
 	}
@@ -435,6 +446,37 @@ func (s *Service) RunSnapshot() (run metrics.Run, live int, now time.Duration, o
 	case <-s.stopCh:
 		return metrics.Run{}, 0, 0, false
 	}
+}
+
+// PredictSnapshot returns the conflict-prediction snapshot on the driver
+// goroutine; ok=false when the policy keeps no statistics or the service
+// has stopped. The snapshot's Table is a deep copy, safe to merge off the
+// driver (the sharded service folds shard snapshots together).
+func (s *Service) PredictSnapshot() (PredictSnapshot, bool) {
+	type snap struct {
+		ps PredictSnapshot
+		ok bool
+	}
+	ch := make(chan snap, 1)
+	if err := s.rt.Call(func() {
+		ps, ok := s.e.PredictSnapshot()
+		ch <- snap{ps, ok}
+	}); err != nil {
+		return PredictSnapshot{}, false
+	}
+	select {
+	case sn := <-ch:
+		return sn.ps, sn.ok
+	case <-s.stopCh:
+		return PredictSnapshot{}, false
+	}
+}
+
+// SetPredictView installs the cross-shard merged statistics view on the
+// driver goroutine (see Engine.SetPredictView). No-op for policies without
+// statistics; the view must not be mutated after the call.
+func (s *Service) SetPredictView(v *predict.Table) error {
+	return s.rt.Call(func() { s.e.SetPredictView(v) })
 }
 
 // Outcome converts a terminal transaction into its submission outcome —

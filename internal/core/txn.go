@@ -131,6 +131,11 @@ type Txn struct {
 	penaltyVal time.Duration
 	penaltyAt  sim.Time
 	penaltyGen uint64
+	// predVal/predAt/predGen cache the prediction-policy penalty extension
+	// (Engine.predictPenalty) under the same keying discipline.
+	predVal time.Duration
+	predAt  sim.Time
+	predGen uint64
 
 	// priority is the value from the last continuous-evaluation pass
 	// (higher runs first).

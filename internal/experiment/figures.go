@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -36,6 +37,27 @@ func setDBSize(c *core.Config, x float64) { c.Workload.DBSize = int(x) }
 func highVarianceRate(c *core.Config, x float64) {
 	c.Workload.Classes = workload.HighVariance().Classes
 	c.Workload.ArrivalRate = x
+}
+
+// predictWorkload configures the conflict-prediction ablation: two CPUs
+// (so commits observe partially-executed peers and the statistics tables
+// fill) under an expensive recovery regime — the setting where pricing
+// conflicts by their observed rate can actually move the penalty term.
+// The prediction knobs mirror the tuner convergence regression in
+// internal/core (w starts at the policy default; CCA-T tunes from there).
+func predictWorkload(pol core.PolicyKind) func(float64, int64) core.Config {
+	return mmVariant(pol, func(c *core.Config, x float64) {
+		c.Workload.ArrivalRate = x
+		c.NumCPUs = 2
+		c.AbortCost = 40 * time.Millisecond
+		c.RecoveryProportionalFactor = 2
+		if pol == core.CCAP || pol == core.CCAT {
+			c.Predict = core.DefaultPredictConfig()
+			c.Predict.FeedbackWindow = 100
+			c.Predict.TunerStep = 0.5
+			c.Predict.TunerMax = 8
+		}
+	})
 }
 
 // conditionalWorkload configures the decision-point ablation: sparse claim
@@ -492,6 +514,27 @@ func All() []Definition {
 					Render: curveTable("Ablation — overload: rejections per run", "rate", "rejected", rejectedAcc)},
 				curveFigure("ab-over-late", "Ablation — mean lateness of served transactions past saturation",
 					"Ablation — overload: mean lateness of commits (ms)", "rate", "lateness", latenessAcc),
+			},
+		},
+		{
+			ID:     "ablation-predict",
+			Title:  "Ablation: conflict-prediction policies (CCA-P) and the self-tuning weight (CCA-T)",
+			XLabel: "arrival rate (tr/s)",
+			Xs:     seq(8, 14, 2),
+			Seeds:  10,
+			Variants: []Variant{
+				{Name: "EDF-HP", Configure: predictWorkload(core.EDFHP)},
+				{Name: "CCA", Configure: predictWorkload(core.CCA)},
+				{Name: "CCA-P", Configure: predictWorkload(core.CCAP)},
+				{Name: "CCA-T", Configure: predictWorkload(core.CCAT)},
+			},
+			Figures: []Figure{
+				curveFigure("ab-pred-miss", "Ablation — miss percent, static vs predicted vs tuned penalty",
+					"Ablation — conflict prediction: miss percent (2 CPUs, costly recovery)", "rate", "miss%", missAcc),
+				curveFigure("ab-pred-restarts", "Ablation — restarts per transaction with conflict prediction",
+					"Ablation — conflict prediction: restarts per transaction", "rate", "restarts/txn", restartsAcc),
+				curveFigure("ab-pred-late", "Ablation — mean lateness with conflict prediction",
+					"Ablation — conflict prediction: mean lateness (ms)", "rate", "lateness", latenessAcc),
 			},
 		},
 		{

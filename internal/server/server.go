@@ -659,6 +659,10 @@ type MetricsResponse struct {
 	P50ResponseMs float64 `json:"p50_response_ms"`
 	P95ResponseMs float64 `json:"p95_response_ms"`
 	P99ResponseMs float64 `json:"p99_response_ms"`
+	// Predict is the conflict-prediction snapshot (cca-p/cca-t policies
+	// only; null otherwise): current penalty weight, tuner step count,
+	// and the highest observed per-pair conflict rates.
+	Predict *core.PredictSnapshot `json:"predict,omitempty"`
 }
 
 // metricsResponse builds the snapshot served by HTTP /metrics and the
@@ -679,6 +683,7 @@ func (s *Server) metricsResponse() MetricsResponse {
 		resp.Engine = st.Result
 		resp.Live = st.Live
 		resp.NowMs = ms(st.Now)
+		resp.Predict = st.Predict
 	}
 	resp.P50ResponseMs, resp.P95ResponseMs, resp.P99ResponseMs = s.responsePercentiles()
 	return resp

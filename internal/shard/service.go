@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/predict"
 	"repro/internal/trace"
 	"repro/internal/txn"
 )
@@ -66,6 +67,12 @@ type Service struct {
 	n         int
 	svcs      []*core.Service
 	wallEpoch time.Duration
+	// predict is true for conflict-prediction policies (CCA-P/CCA-T) with
+	// more than one shard: at every epoch tick the per-shard statistics
+	// tables are merged (ascending shard order) and the same frozen view is
+	// installed on every shard — the wall-clock analogue of the virtual
+	// runner's boundary merge.
+	predict bool
 
 	stopCh chan struct{}
 
@@ -106,6 +113,7 @@ func NewService(cfg core.Config, opt ServiceOptions) (*Service, error) {
 		}
 		s.svcs = append(s.svcs, sv)
 	}
+	s.predict = opt.Shards > 1 && (cfg.Policy == core.CCAP || cfg.Policy == core.CCAT)
 	return s, nil
 }
 
@@ -131,6 +139,7 @@ func (s *Service) Run(ctx context.Context) error {
 		select {
 		case <-tick.C:
 			s.flush()
+			s.mergePredict()
 		case err := <-errCh:
 			running--
 			if first == nil {
@@ -292,6 +301,34 @@ func (s *Service) flush() {
 			outcome, err := s.fanOut(pc)
 			pc.out <- crossResult{outcome, err}
 		}()
+	}
+}
+
+// mergePredict folds every shard's conflict-statistics table into one
+// merged table (ascending shard order) and installs it as the read view on
+// every shard. Per-shard recording continues into the shards' own tables;
+// only the priced rates are globalised. Decayed reads on a Table are pure,
+// so the shared view is safe for the shards' concurrent driver goroutines.
+func (s *Service) mergePredict() {
+	if !s.predict {
+		return
+	}
+	var merged *predict.Table
+	for _, sv := range s.svcs {
+		snap, ok := sv.PredictSnapshot()
+		if !ok || snap.Table == nil {
+			return // a shard is stopping; skip this tick
+		}
+		if merged == nil {
+			merged = snap.Table // PredictSnapshot clones — ours to own
+		} else {
+			merged.Merge(snap.Table)
+		}
+	}
+	for _, sv := range s.svcs {
+		if err := sv.SetPredictView(merged); err != nil {
+			return
+		}
 	}
 }
 
@@ -475,5 +512,37 @@ func (s *Service) Stats() (core.ServiceStats, bool) {
 	}
 	merged := metrics.MergeRuns(runs...)
 	st.Result = merged.Result()
+	st.Predict = s.predictStats(st.Now)
 	return st, true
+}
+
+// predictStats builds the system-wide prediction snapshot: the per-shard
+// tables merged (exact — integer sums are order-free), pair statistics
+// recomputed from the merged table at the merged clock, tuner steps summed
+// across shards, and W from shard 0 (each shard tunes independently; shard
+// 0 is the fixed representative). Nil for non-predictive policies.
+func (s *Service) predictStats(now time.Duration) *core.PredictSnapshot {
+	if s.cfg.Policy != core.CCAP && s.cfg.Policy != core.CCAT {
+		return nil
+	}
+	var tab *predict.Table
+	ps := core.PredictSnapshot{Policy: s.cfg.Policy}
+	for i, sv := range s.svcs {
+		snap, ok := sv.PredictSnapshot()
+		if !ok || snap.Table == nil {
+			return nil
+		}
+		if i == 0 {
+			ps.W = snap.W
+			ps.WTrajectory = snap.WTrajectory
+			tab = snap.Table
+		} else {
+			tab.Merge(snap.Table)
+		}
+		ps.TunerSteps += snap.TunerSteps
+	}
+	ps.ActivePairs = tab.ActivePairs(now)
+	ps.TopPairs = tab.TopPairs(now, 8)
+	ps.Table = tab
+	return &ps
 }
