@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer makes the stderr capture safe to read while run() is still
+// writing to it from another goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestUsageErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run([]string{"-bogus"}, &buf); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	buf.Reset()
+	if code := run(nil, &buf); code != 2 {
+		t.Fatalf("missing -target: exit %d, want 2", code)
+	}
+	if !strings.Contains(buf.String(), "-target is required") {
+		t.Fatalf("missing -target message, got %q", buf.String())
+	}
+	buf.Reset()
+	if code := run([]string{"-target", "x", "-plan", `{"reset_prob":2}`}, &buf); code != 2 {
+		t.Fatalf("bad plan: exit %d, want 2", code)
+	}
+}
+
+// TestRelayAndSignalStop drives a zero-plan proxy end to end: bytes
+// relay faithfully, SIGTERM stops it cleanly with counters on stderr.
+func TestRelayAndSignalStop(t *testing.T) {
+	// Echo target.
+	tln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tln.Close()
+	go func() {
+		for {
+			c, err := tln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(c, c); c.Close() }()
+		}
+	}()
+
+	var buf syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-target", tln.Addr().String(),
+			"-plan", "{}",
+		}, &buf)
+	}()
+
+	// The proxy picked an ephemeral port; scrape it from the banner.
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no banner: %q", buf.String())
+		}
+		for _, ln := range strings.Split(buf.String(), "\n") {
+			if strings.HasPrefix(ln, "rtchaos: relaying ") {
+				addr = strings.Fields(ln)[2]
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("through the proxy")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("relayed %q, want %q", got, msg)
+	}
+	c.Close()
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit %d, want 0\nstderr: %s", code, buf.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("proxy did not stop on SIGTERM\nstderr: %s", buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "rtchaos: counters {") {
+		t.Fatalf("no counters line:\n%s", out)
+	}
+	if !strings.Contains(out, "shutdown complete") {
+		t.Fatalf("no shutdown line:\n%s", out)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,6 +65,10 @@ type loadOptions struct {
 	readFrac float64
 	seed     int64
 
+	retries    int
+	retryMax   time.Duration
+	reqTimeout time.Duration
+
 	report string
 }
 
@@ -78,6 +83,8 @@ type tally struct {
 	invalid   atomic.Int64
 	errors    atomic.Int64
 	overflow  atomic.Int64 // open loop: outstanding cap hit, request not sent
+	retried   atomic.Int64 // resubmissions after an overload signal (shed/rejected)
+	abandoned atomic.Int64 // requests still shed/rejected after the retry budget
 
 	mu   sync.Mutex
 	hist metrics.Histogram // wall latency of answered requests, ms
@@ -105,6 +112,8 @@ type Report struct {
 	Invalid    int64   `json:"invalid"`
 	Errors     int64   `json:"errors"`
 	Overflow   int64   `json:"overflow"`
+	Retried    int64   `json:"retried"`
+	Abandoned  int64   `json:"abandoned"`
 	P50Ms      float64 `json:"p50_ms"`
 	P95Ms      float64 `json:"p95_ms"`
 	P99Ms      float64 `json:"p99_ms"`
@@ -130,6 +139,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.DurationVar(&o.deadline, "deadline", 50*time.Millisecond, "relative deadline submitted")
 	fs.Float64Var(&o.readFrac, "read-frac", 0, "fraction of items flagged as reads")
 	fs.Int64Var(&o.seed, "seed", 1, "workload RNG seed")
+	fs.IntVar(&o.retries, "retries", 2, "resubmissions of a shed/rejected request, with jittered backoff honoring the server's Retry-After hint (0 disables)")
+	fs.DurationVar(&o.retryMax, "retry-max", 2*time.Second, "cap on any single retry backoff sleep")
+	fs.DurationVar(&o.reqTimeout, "req-timeout", 30*time.Second, "per-request timeout (both protocols)")
 	fs.StringVar(&o.report, "report", "text", "report format on stdout: text or json")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -155,6 +167,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	defer closeFn()
 
 	var tl tally
+	submit = withRetry(&o, &tl, submit)
 	start := time.Now()
 	switch o.mode {
 	case "closed":
@@ -193,8 +206,41 @@ const (
 )
 
 // submitFn issues one request built from the worker's RNG and reports
-// how it ended.
-type submitFn func(rng *rand.Rand) outcome
+// how it ended, plus the server's Retry-After hint in seconds (0 when
+// the answer carried none).
+type submitFn func(rng *rand.Rand) (outcome, int)
+
+// withRetry wraps a submitFn with the client-side overload protocol: a
+// shed or rejected answer is resubmitted up to o.retries times after a
+// jittered backoff honoring the server's Retry-After hint (full jitter:
+// a uniform draw up to the hint, capped at o.retryMax). Each extra
+// attempt counts in tl.retried; a request still shed/rejected when the
+// budget runs out counts in tl.abandoned and keeps its final outcome.
+func withRetry(o *loadOptions, tl *tally, submit submitFn) submitFn {
+	if o.retries <= 0 {
+		return submit
+	}
+	return func(rng *rand.Rand) (outcome, int) {
+		out, hint := submit(rng)
+		for attempt := 1; attempt <= o.retries && (out == outShed || out == outRejected); attempt++ {
+			ceiling := time.Duration(hint) * time.Second
+			if ceiling <= 0 {
+				// No hint: exponential base so blind retries still spread out.
+				ceiling = 50 * time.Millisecond << (attempt - 1)
+			}
+			if ceiling > o.retryMax {
+				ceiling = o.retryMax
+			}
+			time.Sleep(time.Duration(rng.Int63n(int64(ceiling) + 1)))
+			tl.retried.Add(1)
+			out, hint = submit(rng)
+		}
+		if out == outShed || out == outRejected {
+			tl.abandoned.Add(1)
+		}
+		return out, hint
+	}
+}
 
 // newSubmitter builds the per-protocol submit function. The returned
 // function is safe for concurrent use.
@@ -220,19 +266,24 @@ func newSubmitter(o *loadOptions) (submitFn, func(), error) {
 	}
 
 	if o.proto == "wire" {
-		clients := make([]*wire.Client, o.conns)
+		// Eager probe: the resilient client dials lazily and retries, so
+		// without this a dead target would burn the whole run in redial
+		// loops instead of failing fast at startup.
+		probe, err := wire.Dial(o.target, 5*time.Second)
+		if err != nil {
+			return nil, nil, err
+		}
+		probe.Close()
+		clients := make([]*wire.Resilient, o.conns)
 		for i := range clients {
-			c, err := wire.Dial(o.target, 5*time.Second)
-			if err != nil {
-				for _, prev := range clients[:i] {
-					prev.Close()
-				}
-				return nil, nil, err
-			}
-			clients[i] = c
+			clients[i] = wire.NewResilient(o.target, wire.ResilientOptions{
+				DialTimeout: 5 * time.Second,
+				Client:      wire.ClientOptions{RequestTimeout: o.reqTimeout},
+				Seed:        o.seed + int64(i),
+			})
 		}
 		var next atomic.Int64
-		fn := func(rng *rand.Rand) outcome {
+		fn := func(rng *rand.Rand) (outcome, int) {
 			items, reads := gen(rng)
 			c := clients[int(next.Add(1))%len(clients)]
 			resp, err := c.Submit(&wire.SubmitReq{
@@ -240,22 +291,24 @@ func newSubmitter(o *loadOptions) (submitFn, func(), error) {
 				Compute: o.compute, Deadline: o.deadline,
 			})
 			if err != nil {
-				return outError
+				return outError, 0
 			}
 			switch resp.Status {
 			case wire.StatusCommitted:
 				if resp.Missed {
-					return outMissed
+					return outMissed, 0
 				}
-				return outCommitted
+				return outCommitted, 0
 			case wire.StatusRejected:
-				return outRejected
+				return outRejected, int(resp.RetryAfter)
 			case wire.StatusShed:
-				return outShed
+				return outShed, int(resp.RetryAfter)
 			case wire.StatusDropped:
-				return outDropped
+				return outDropped, 0
+			case wire.StatusFailed:
+				return outError, 0
 			default:
-				return outInvalid
+				return outInvalid, 0
 			}
 		}
 		closeFn := func() {
@@ -272,7 +325,7 @@ func newSubmitter(o *loadOptions) (submitFn, func(), error) {
 		MaxIdleConns:        o.workers + o.conns,
 		MaxIdleConnsPerHost: o.workers + o.conns,
 	}
-	hc := &http.Client{Transport: tr, Timeout: 30 * time.Second}
+	hc := &http.Client{Transport: tr, Timeout: o.reqTimeout}
 	url := "http://" + o.target + "/submit"
 	type jsonReq struct {
 		Items    []int   `json:"items"`
@@ -284,7 +337,7 @@ func newSubmitter(o *loadOptions) (submitFn, func(), error) {
 		State  string `json:"state"`
 		Missed bool   `json:"missed"`
 	}
-	fn := func(rng *rand.Rand) outcome {
+	fn := func(rng *rand.Rand) (outcome, int) {
 		items, reads := gen(rng)
 		ints := make([]int, len(items))
 		for i, it := range items {
@@ -297,30 +350,31 @@ func newSubmitter(o *loadOptions) (submitFn, func(), error) {
 		})
 		resp, err := hc.Post(url, "application/json", bytes.NewReader(body))
 		if err != nil {
-			return outError
+			return outError, 0
 		}
 		defer resp.Body.Close()
+		hint, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
 		var jr jsonResp
 		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
 			if resp.StatusCode == http.StatusBadRequest {
-				return outInvalid
+				return outInvalid, 0
 			}
-			return outError
+			return outError, 0
 		}
 		switch jr.State {
 		case "committed":
 			if jr.Missed {
-				return outMissed
+				return outMissed, 0
 			}
-			return outCommitted
+			return outCommitted, 0
 		case "rejected":
-			return outRejected
+			return outRejected, hint
 		case "shed":
-			return outShed
+			return outShed, hint
 		case "dropped":
-			return outDropped
+			return outDropped, 0
 		default:
-			return outError
+			return outError, 0
 		}
 	}
 	return fn, tr.CloseIdleConnections, nil
@@ -361,7 +415,7 @@ func runClosed(o *loadOptions, tl *tally, submit submitFn) {
 			rng := rand.New(rand.NewSource(o.seed + int64(w)*7919))
 			for time.Now().Before(stop) {
 				t0 := time.Now()
-				out := submit(rng)
+				out, _ := submit(rng)
 				record(tl, out, time.Since(t0))
 			}
 		}(w)
@@ -403,7 +457,7 @@ func runOpen(o *loadOptions, tl *tally, submit submitFn) {
 			defer func() { <-sem }()
 			wrng := rand.New(rand.NewSource(o.seed ^ seq*2654435761))
 			t0 := time.Now()
-			out := submit(wrng)
+			out, _ := submit(wrng)
 			record(tl, out, time.Since(t0))
 		}(seq)
 	}
@@ -424,6 +478,8 @@ func buildReport(o *loadOptions, tl *tally, elapsed time.Duration) Report {
 		Invalid:   tl.invalid.Load(),
 		Errors:    tl.errors.Load(),
 		Overflow:  tl.overflow.Load(),
+		Retried:   tl.retried.Load(),
+		Abandoned: tl.abandoned.Load(),
 	}
 	if o.mode == "open" {
 		rep.TargetRate = o.rate
@@ -470,6 +526,7 @@ func printText(w io.Writer, r Report) {
 		{"committed", r.Committed}, {"missed", r.Missed}, {"rejected", r.Rejected},
 		{"shed", r.Shed}, {"dropped", r.Dropped}, {"invalid", r.Invalid},
 		{"errors", r.Errors}, {"overflow", r.Overflow},
+		{"retried", r.Retried}, {"abandoned", r.Abandoned},
 	}
 	sort.SliceStable(lines, func(i, j int) bool { return lines[i].n > lines[j].n })
 	for _, l := range lines {

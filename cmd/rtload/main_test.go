@@ -6,7 +6,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -209,4 +212,55 @@ func TestOverloadIsShedNotQueued(t *testing.T) {
 		t.Fatalf("overload produced errors, not shedding: %+v", rep)
 	}
 	t.Logf("overload report: %s", fmt.Sprintf("%+v", rep))
+}
+
+// TestRetryHonorsOverloadSignal: a stub that sheds each worker's first
+// attempt with a Retry-After hint must see the loader come back — the
+// request is resubmitted after backoff and counted as retried, not
+// abandoned. A stub that always sheds exhausts the budget and the
+// request lands in abandoned.
+func TestRetryHonorsOverloadSignal(t *testing.T) {
+	var hits atomic.Int64
+	shedFirst := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"state":"shed"}`)
+			return
+		}
+		fmt.Fprint(w, `{"state":"committed"}`)
+	}))
+	defer shedFirst.Close()
+
+	rep, _ := runLoad(t,
+		"-target", strings.TrimPrefix(shedFirst.URL, "http://"), "-proto", "json",
+		"-mode", "closed", "-workers", "1", "-duration", "200ms",
+		"-retries", "2", "-retry-max", "50ms", "-report", "json")
+	if rep.Retried == 0 {
+		t.Fatalf("shed answer was not retried: %+v", rep)
+	}
+	if rep.Abandoned != 0 {
+		t.Fatalf("recovered request counted abandoned: %+v", rep)
+	}
+	if rep.Committed == 0 {
+		t.Fatalf("no commits after retry: %+v", rep)
+	}
+
+	alwaysShed := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"state":"shed"}`)
+	}))
+	defer alwaysShed.Close()
+
+	rep, _ = runLoad(t,
+		"-target", strings.TrimPrefix(alwaysShed.URL, "http://"), "-proto", "json",
+		"-mode", "closed", "-workers", "1", "-duration", "150ms",
+		"-retries", "1", "-retry-max", "20ms", "-report", "json")
+	if rep.Abandoned == 0 || rep.Shed == 0 {
+		t.Fatalf("persistent overload not abandoned: %+v", rep)
+	}
+	if rep.Retried < rep.Abandoned {
+		t.Fatalf("each abandoned request should have burned its retry budget: %+v", rep)
+	}
 }

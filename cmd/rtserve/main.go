@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/server"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -67,6 +68,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		oracle      = fs.Bool("oracle", false, "run under the live safety oracle: a violated paper invariant fails /healthz and stops the service")
 		shards      = fs.Int("shards", 1, "engine shards (item i lives on shard i%N); single-shard submissions route directly, cross-shard ones batch at epoch boundaries")
 		epoch       = fs.Duration("epoch", 0, "cross-shard epoch interval in simulated time (0 = default; only with -shards > 1)")
+		supervise   = fs.Bool("supervise", false, "contain shard-driver failures: a panicking shard fails its inflight transactions and degrades /healthz instead of killing the process")
+		restart     = fs.Bool("restart-shards", false, "with -supervise: replace a failed shard with a fresh engine (up to -max-restarts times)")
+		maxRestarts = fs.Int("max-restarts", 0, "with -restart-shards: per-shard restart budget (0 = default)")
+		wireIdle    = fs.Duration("wire-idle-timeout", 0, "close wire connections idle between frames for this long (slow-loris guard; 0 = default, negative disables)")
 
 		predScale = fs.Float64("predict-scale", -1, "cca-p/cca-t: observed-conflict-rate penalty scale (-1 = default)")
 		predDecay = fs.Float64("predict-decay", -1, "cca-p/cca-t: per-window statistics decay in [0,1] (-1 = default)")
@@ -121,14 +126,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	srv, err := server.New(server.Options{
-		Core:         cfg,
-		Service:      core.ServiceOptions{Speed: *speed, Oracle: *oracle},
-		Shards:       *shards,
-		Epoch:        *epoch,
-		MaxInflight:  *maxInflight,
-		DrainTimeout: *drain,
-		ReadTimeout:  *readTO,
-		WriteTimeout: *writeTO,
+		Core:    cfg,
+		Service: core.ServiceOptions{Speed: *speed, Oracle: *oracle},
+		Shards:  *shards,
+		Epoch:   *epoch,
+		Supervise: shard.SuperviseOptions{
+			Enabled:     *supervise,
+			Restart:     *restart,
+			MaxRestarts: *maxRestarts,
+		},
+		MaxInflight:     *maxInflight,
+		DrainTimeout:    *drain,
+		ReadTimeout:     *readTO,
+		WriteTimeout:    *writeTO,
+		WireIdleTimeout: *wireIdle,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "rtserve: %v\n", err)

@@ -114,6 +114,9 @@ func (s *Service) SubmitBatch(subs []Submission) []SubmitHandle {
 				done(outcomeOf(t), nil)
 				s.e.retireServiceTxn(t)
 			})
+			// If the driver dies with this submission live, the failure
+			// sweep answers it (exactly once — notifyDone disarms this).
+			t.failHook = func(err error) { done(ServiceOutcome{}, err) }
 			handles[i] = SubmitHandle{svc: s, t: t}
 			s.e.onArrival(t)
 		}

@@ -657,9 +657,7 @@ func (e *Engine) onArrival(t *Txn) {
 			if now := time.Duration(e.sim.Now()); now > e.run.Elapsed {
 				e.run.Elapsed = now
 			}
-			if t.done != nil {
-				t.done(t)
-			}
+			t.notifyDone()
 			return
 		}
 		e.run.Admitted++
@@ -975,9 +973,7 @@ func (e *Engine) commit(t *Txn) {
 		e.tracef("T%d commits (lateness %.1fms, restarts %d)", t.ID(), ms(time.Duration(t.finish)-t.Spec.Deadline), t.restarts)
 	}
 	e.emit(trace.Event{Kind: trace.Commit, Txn: t.ID(), Other: -1, Item: -1, Priority: t.priority})
-	if t.done != nil {
-		t.done(t)
-	}
+	t.notifyDone()
 	e.requestReschedule()
 	if !e.inReschedule {
 		e.reschedule()
@@ -1023,9 +1019,7 @@ func (e *Engine) drop(t *Txn) {
 	if now > e.run.Elapsed {
 		e.run.Elapsed = now
 	}
-	if t.done != nil {
-		t.done(t)
-	}
+	t.notifyDone()
 	e.requestReschedule()
 }
 

@@ -42,6 +42,12 @@ var (
 	// ErrDraining reports a submission during graceful drain: the service
 	// finishes in-flight transactions but accepts no new ones.
 	ErrDraining = errors.New("core: service draining")
+	// ErrEngineFailed reports a submission that was in flight when the
+	// engine driver failed (panic or oracle violation). Unlike
+	// ErrDraining/ErrServiceStopped, the transaction MAY have partially
+	// executed — its outcome is unknown, so callers must not treat it
+	// as safely retriable without idempotence of their own.
+	ErrEngineFailed = errors.New("core: engine failed with transaction in flight")
 )
 
 // ServiceOptions tune the wall-clock service without changing what the
@@ -263,7 +269,50 @@ func (s *Service) Run(ctx context.Context) error {
 		s.err = err
 		s.mu.Unlock()
 	}
+	// The driver is dead (this goroutine WAS the driver), so the live
+	// set is frozen: answer every still-inflight waiter before stopCh
+	// closes, converting a crashed engine into failed-with-error
+	// outcomes instead of hangs or misleading "stopped" errors.
+	s.failLive(err)
 	return err
+}
+
+// failLive fires the failure hook of every transaction that was still
+// live when the driver stopped. On a clean cancellation waiters get
+// ErrServiceStopped (what the stopCh path would have told them); on an
+// engine failure they get ErrEngineFailed wrapping the cause, which the
+// front-ends must NOT mark retriable — the transaction may have
+// partially executed. Runs on Run's goroutine after the driver exited,
+// so it owns the engine state; notifyDone's disarming guarantees no
+// transaction is answered twice even if the panic struck between a
+// terminal callback and live-set removal.
+func (s *Service) failLive(cause error) {
+	ferr := error(ErrServiceStopped)
+	if cause != nil && !errors.Is(cause, context.Canceled) && !errors.Is(cause, context.DeadlineExceeded) {
+		ferr = fmt.Errorf("%w: %v", ErrEngineFailed, cause)
+	}
+	for _, t := range s.e.live {
+		if t == nil || t.failHook == nil {
+			continue
+		}
+		hook := t.failHook
+		t.failHook = nil
+		hook(ferr)
+	}
+}
+
+// Degraded reports partial capacity loss. A single-engine service is
+// never degraded — an engine failure stops it outright (see Err). The
+// sharded service overrides this with real partial-failure state.
+func (s *Service) Degraded() bool { return false }
+
+// InjectPanic crashes the engine driver with a forged panic on its own
+// goroutine — fault-injection tooling for supervision and containment
+// tests, the wall-clock analogue of InjectEvent's forged trace events.
+// It returns once the panic is enqueued; the crash lands at the
+// driver's next wakeup.
+func (s *Service) InjectPanic(msg string) error {
+	return s.rt.Call(func() { panic(fmt.Sprintf("core: injected panic: %s", msg)) })
 }
 
 // Err returns the failure that stopped (or is about to stop) the service:
@@ -302,6 +351,7 @@ func (s *Service) Submit(ctx context.Context, req ServiceRequest) (ServiceOutcom
 	s.mu.Unlock()
 
 	done := make(chan ServiceOutcome, 1)
+	failed := make(chan error, 1)
 	spec := &workload.Spec{
 		Items:       req.Items,
 		Compute:     req.Compute,
@@ -321,6 +371,7 @@ func (s *Service) Submit(ctx context.Context, req ServiceRequest) (ServiceOutcom
 			done <- outcomeOf(t)
 			s.e.retireServiceTxn(t)
 		})
+		tp.failHook = func(err error) { failed <- err }
 		s.e.onArrival(tp)
 	})
 	if err != nil {
@@ -330,8 +381,10 @@ func (s *Service) Submit(ctx context.Context, req ServiceRequest) (ServiceOutcom
 	select {
 	case o := <-done:
 		return o, nil
+	case err := <-failed:
+		return ServiceOutcome{}, err
 	case <-s.stopCh:
-		return ServiceOutcome{}, ErrServiceStopped
+		return ServiceOutcome{}, s.stoppedErr(failed)
 	case <-ctx.Done():
 		// The client is gone: wound the transaction if it is still in
 		// flight. Its terminal callback still fires (as a drop), so the
@@ -340,9 +393,23 @@ func (s *Service) Submit(ctx context.Context, req ServiceRequest) (ServiceOutcom
 		select {
 		case o := <-done:
 			return o, ctx.Err()
+		case err := <-failed:
+			return ServiceOutcome{}, err
 		case <-s.stopCh:
-			return ServiceOutcome{}, ErrServiceStopped
+			return ServiceOutcome{}, s.stoppedErr(failed)
 		}
+	}
+}
+
+// stoppedErr resolves the stopCh race: the failure sweep delivers on
+// failed strictly before stopCh closes, but a waiter's select may still
+// pick the stop case when both are ready — prefer the precise error.
+func (s *Service) stoppedErr(failed chan error) error {
+	select {
+	case err := <-failed:
+		return err
+	default:
+		return ErrServiceStopped
 	}
 }
 

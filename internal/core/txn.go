@@ -171,6 +171,23 @@ type Txn struct {
 	// the virtual-time path is untouched. It runs on the engine's driver
 	// goroutine and must not block.
 	done func(*Txn)
+
+	// failHook, when non-nil, is the engine-failure escape hatch: if the
+	// driver dies (panic, stall, oracle violation) with this transaction
+	// still live, the service's failure sweep invokes it exactly once so
+	// the waiter gets failed-with-error instead of a hang. Disarmed the
+	// moment done fires — a transaction is answered exactly once.
+	failHook func(error)
+}
+
+// notifyDone fires the terminal callback (if any) and disarms the
+// failure hook, so the engine-failure sweep can never answer a
+// transaction its terminal callback already answered.
+func (t *Txn) notifyDone() {
+	t.failHook = nil
+	if t.done != nil {
+		t.done(t)
+	}
 }
 
 // ID returns the transaction instance ID.

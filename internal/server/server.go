@@ -61,6 +61,11 @@ type Service interface {
 	InjectEvent(ev trace.Event) error
 	Err() error
 	Draining() bool
+	// Degraded reports that the service survived an internal failure
+	// (e.g. a supervised shard driver panicked and was contained or
+	// restarted). The server stays up but advertises the event on
+	// /healthz and /metrics.
+	Degraded() bool
 }
 
 // Options configure the server.
@@ -81,6 +86,15 @@ type Options struct {
 	// Epoch is the cross-shard batching interval in simulated time
 	// (0 = shard.DefaultEpoch). Ignored unless Shards > 1.
 	Epoch time.Duration
+	// Supervise contains shard-driver failures: a panicking shard becomes
+	// failed-with-error outcomes for its inflight transactions and a
+	// degraded /healthz instead of a dead process. Enabling it with
+	// Shards <= 1 runs a single supervised shard.
+	Supervise shard.SuperviseOptions
+	// WireIdleTimeout closes a wire connection that sits idle between
+	// frames (slow-loris guard). 0 = wire.DefaultIdleTimeout; negative
+	// disables.
+	WireIdleTimeout time.Duration
 	// MaxInflight bounds concurrently admitted HTTP submissions; past the
 	// bound the server sheds with a fast 503 (default 256).
 	MaxInflight int
@@ -134,6 +148,11 @@ type Server struct {
 	rejected atomic.Int64 // engine admission rejections
 	badReqs  atomic.Int64
 	panics   atomic.Int64
+	failed   atomic.Int64 // engine-failure outcomes (500s): outcome unknown
+
+	// wireSrv holds the wire front-end once ServeListeners starts it, so
+	// /metrics can render its connection counters.
+	wireSrv atomic.Pointer[wire.Server]
 
 	// respHist accumulates wall-clock response times of completed
 	// submissions in a fixed-bucket log-scale histogram: constant
@@ -154,11 +173,16 @@ func New(opts Options) (*Server, error) {
 		svc Service
 		err error
 	)
-	if opts.Shards > 1 {
+	if opts.Shards > 1 || opts.Supervise.Enabled {
+		n := opts.Shards
+		if n < 1 {
+			n = 1
+		}
 		svc, err = shard.NewService(opts.Core, shard.ServiceOptions{
-			Shards: opts.Shards,
-			Epoch:  opts.Epoch,
-			Core:   opts.Service,
+			Shards:    n,
+			Epoch:     opts.Epoch,
+			Core:      opts.Service,
+			Supervise: opts.Supervise,
 		})
 	} else {
 		svc, err = core.NewService(opts.Core, opts.Service)
@@ -247,7 +271,9 @@ func (s *Server) ServeListeners(ctx context.Context, httpLn, wireLn net.Listener
 	if wireLn != nil {
 		ws = wire.NewServer(wireBackend{s}, wire.ServerOptions{
 			MaxInflightPerConn: s.opts.MaxInflight,
+			IdleTimeout:        s.opts.WireIdleTimeout,
 		})
+		s.wireSrv.Store(ws)
 		wireDone = make(chan error, 1)
 		go func() { wireDone <- ws.Serve(wireLn) }()
 	}
@@ -328,6 +354,8 @@ func (cc countingCompleter) Complete(id uint64, o core.ServiceOutcome, err error
 		}
 	case errors.Is(err, core.ErrDraining) || errors.Is(err, core.ErrServiceStopped):
 		cc.s.shed.Add(1)
+	case errors.Is(err, core.ErrEngineFailed):
+		cc.s.failed.Add(1)
 	default:
 		cc.s.badReqs.Add(1)
 	}
@@ -563,6 +591,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, core.ErrServiceStopped):
 		s.shedResponse(w, "service stopped")
 		return
+	case errors.Is(err, core.ErrEngineFailed):
+		// The engine died with this submission in flight: the outcome is
+		// unknown, so this is a 500 (not a retriable 503) — blind
+		// resubmission could double-execute.
+		s.failed.Add(1)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	default:
 		s.badReqs.Add(1)
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -648,12 +683,22 @@ type MetricsResponse struct {
 	NowMs float64 `json:"now_ms"`
 	// Draining reports graceful drain in progress.
 	Draining bool `json:"draining"`
+	// Degraded reports the service survived an internal failure (a
+	// supervised shard driver died and was contained or restarted).
+	Degraded bool `json:"degraded"`
+	// Supervision is the shard-supervisor snapshot (sharded service with
+	// supervision enabled only; null otherwise).
+	Supervision *shard.SupervisionStats `json:"supervision,omitempty"`
+	// Wire holds the binary front-end's connection counters (null when
+	// the wire listener is not running).
+	Wire *wire.Counters `json:"wire,omitempty"`
 	// HTTP-level counters.
 	Accepted int64 `json:"http_accepted"`
 	Shed     int64 `json:"http_shed"`
 	Rejected int64 `json:"http_rejected"`
 	BadReqs  int64 `json:"http_bad_requests"`
 	Panics   int64 `json:"http_panics"`
+	Failed   int64 `json:"http_failed"`
 	Inflight int   `json:"http_inflight"`
 	// Wall-clock response-time percentiles over the recent window, ms.
 	P50ResponseMs float64 `json:"p50_response_ms"`
@@ -672,12 +717,24 @@ type MetricsResponse struct {
 func (s *Server) metricsResponse() MetricsResponse {
 	resp := MetricsResponse{
 		Draining: s.svc.Draining(),
+		Degraded: s.svc.Degraded(),
 		Accepted: s.accepted.Load(),
 		Shed:     s.shed.Load(),
 		Rejected: s.rejected.Load(),
 		BadReqs:  s.badReqs.Load(),
 		Panics:   s.panics.Load(),
+		Failed:   s.failed.Load(),
 		Inflight: len(s.inflight),
+	}
+	if sup, ok := s.svc.(interface{ SupervisionStats() shard.SupervisionStats }); ok {
+		st := sup.SupervisionStats()
+		if st.Enabled {
+			resp.Supervision = &st
+		}
+	}
+	if ws := s.wireSrv.Load(); ws != nil {
+		wc := ws.Counters()
+		resp.Wire = &wc
 	}
 	if st, ok := s.cachedStats(); ok {
 		resp.Engine = st.Result
@@ -703,7 +760,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain")
-	fmt.Fprintln(w, "ok draining="+strconv.FormatBool(s.svc.Draining()))
+	// A degraded service is still healthy (HTTP 200, "ok" prefix — probes
+	// grep for it) but advertises that it survived an internal failure.
+	fmt.Fprintf(w, "ok draining=%v degraded=%v\n", s.svc.Draining(), s.svc.Degraded())
 }
 
 // observeResponse records one completed submission's wall response time.

@@ -18,6 +18,7 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -28,6 +29,47 @@ import (
 	"repro/internal/trace"
 	"repro/internal/txn"
 )
+
+// SuperviseOptions control shard-failure containment.
+type SuperviseOptions struct {
+	// Enabled turns on supervision: a shard driver that fails (panic,
+	// stall, oracle violation) is contained instead of fatal — its
+	// inflight transactions are answered with core.ErrEngineFailed by
+	// the core failure sweep, the service reports Degraded, and the
+	// surviving shards keep serving their part of the item space.
+	// Disabled (the default), any shard failure stops the whole service.
+	Enabled bool
+	// Restart additionally replaces a permanently-failed shard with a
+	// fresh engine. The fresh engine starts empty: the failed shard's
+	// admitted work has already been failed, and its statistics are
+	// gone — restart trades state for capacity.
+	Restart bool
+	// MaxRestarts bounds restarts per shard (default 3); past it the
+	// shard stays dead.
+	MaxRestarts int
+}
+
+func (o SuperviseOptions) maxRestarts() int {
+	if o.MaxRestarts > 0 {
+		return o.MaxRestarts
+	}
+	return 3
+}
+
+// SupervisionStats is a point-in-time view of shard-failure containment.
+type SupervisionStats struct {
+	Enabled bool `json:"enabled"`
+	Shards  int  `json:"shards"`
+	// Dead counts shards that are permanently down (no restart left).
+	Dead int `json:"dead"`
+	// Failures counts shard-driver failures since start (restarted or
+	// not).
+	Failures int `json:"failures"`
+	// Restarts counts fresh engines swapped in for failed shards.
+	Restarts int `json:"restarts"`
+	// LastFailure is the most recent shard failure, for /metrics.
+	LastFailure string `json:"last_failure,omitempty"`
+}
 
 // ServiceOptions configure the sharded wall-clock service.
 type ServiceOptions struct {
@@ -40,6 +82,9 @@ type ServiceOptions struct {
 	// Core tunes each shard's wall-clock service (speed, sample window,
 	// oracle).
 	Core core.ServiceOptions
+	// Supervise contains shard-driver failures instead of letting one
+	// panicking shard kill the whole service.
+	Supervise SuperviseOptions
 }
 
 // partReq is one shard's slice of a cross-shard request.
@@ -65,8 +110,20 @@ type crossResult struct {
 type Service struct {
 	cfg       core.Config
 	n         int
-	svcs      []*core.Service
+	coreOpt   core.ServiceOptions
+	sup       SuperviseOptions
 	wallEpoch time.Duration
+
+	// svcMu guards the shard table and its supervision bookkeeping; the
+	// table entries are swapped when a supervised shard restarts, so
+	// every access goes through shard()/allShards().
+	svcMu     sync.RWMutex
+	svcs      []*core.Service
+	dead      []bool  // permanently down (supervised, out of restarts — or unsupervised failure)
+	failures  []error // last failure per shard, sticky across restarts
+	restarts  []int
+	failTotal int
+	lastFail  error
 	// predict is true for conflict-prediction policies (CCA-P/CCA-T) with
 	// more than one shard: at every epoch tick the per-shard statistics
 	// tables are merged (ascending shard order) and the same frozen view is
@@ -103,8 +160,13 @@ func NewService(cfg core.Config, opt ServiceOptions) (*Service, error) {
 	s := &Service{
 		cfg:       cfg,
 		n:         opt.Shards,
+		coreOpt:   opt.Core,
+		sup:       opt.Supervise,
 		wallEpoch: wall,
 		stopCh:    make(chan struct{}),
+		dead:      make([]bool, opt.Shards),
+		failures:  make([]error, opt.Shards),
+		restarts:  make([]int, opt.Shards),
 	}
 	for i := 0; i < opt.Shards; i++ {
 		sv, err := core.NewService(cfg, opt.Core)
@@ -120,17 +182,65 @@ func NewService(cfg core.Config, opt ServiceOptions) (*Service, error) {
 // Shards returns the shard count.
 func (s *Service) Shards() int { return s.n }
 
-// Run drives every shard service and the cross-shard batcher until ctx is
-// cancelled or a shard fails; either stops all shards. Must be called
-// exactly once.
+// shard returns shard i's current service (supervised restarts swap the
+// table entries, so callers must not cache the pointer across requests).
+func (s *Service) shard(i int) *core.Service {
+	s.svcMu.RLock()
+	defer s.svcMu.RUnlock()
+	return s.svcs[i]
+}
+
+// allShards snapshots the shard table.
+func (s *Service) allShards() []*core.Service {
+	s.svcMu.RLock()
+	defer s.svcMu.RUnlock()
+	return append([]*core.Service(nil), s.svcs...)
+}
+
+func (s *Service) markDead(i int) {
+	s.svcMu.Lock()
+	s.dead[i] = true
+	s.svcMu.Unlock()
+}
+
+func (s *Service) deadShards() int {
+	s.svcMu.RLock()
+	defer s.svcMu.RUnlock()
+	n := 0
+	for _, d := range s.dead {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// noteFailure records a shard-driver failure and reports the restart
+// count consumed so far.
+func (s *Service) noteFailure(i int, err error) int {
+	s.svcMu.Lock()
+	defer s.svcMu.Unlock()
+	s.failures[i] = err
+	s.lastFail = err
+	s.failTotal++
+	return s.restarts[i]
+}
+
+// Run drives every shard service and the cross-shard batcher until ctx
+// is cancelled or the shards stop. Unsupervised (the default), any
+// shard failure stops all shards and Run returns it. Supervised, shard
+// failures are contained per SuperviseOptions and Run keeps serving
+// until cancellation or until every shard is permanently dead; it then
+// returns the first shard failure (if any), so a degraded-then-drained
+// service still reports what went wrong. Must be called exactly once.
 func (s *Service) Run(ctx context.Context) error {
 	defer close(s.stopCh)
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	errCh := make(chan error, s.n)
-	for _, sv := range s.svcs {
-		sv := sv
-		go func() { errCh <- sv.Run(ctx) }()
+	for i := 0; i < s.n; i++ {
+		i := i
+		go func() { errCh <- s.supervise(ctx, i) }()
 	}
 	tick := time.NewTicker(s.wallEpoch)
 	defer tick.Stop()
@@ -145,11 +255,85 @@ func (s *Service) Run(ctx context.Context) error {
 			if first == nil {
 				first = err
 			}
-			cancel()
+			// Unsupervised: any shard exit stops the service. Supervised:
+			// shards die independently; stop only when none are left.
+			if !s.sup.Enabled || s.deadShards() == s.n {
+				cancel()
+			}
 		}
 	}
 	s.failQueued(core.ErrServiceStopped)
 	return first
+}
+
+// supervise runs shard i until ctx cancellation or permanent death. An
+// unexpected exit is recorded (Degraded, SupervisionStats); when
+// Restart allows, a fresh engine is swapped into the shard table and
+// driven in place of the dead one. The failed engine's inflight work
+// was already answered by the core failure sweep before its Run
+// returned, so containment never strands a waiter.
+func (s *Service) supervise(ctx context.Context, i int) error {
+	for {
+		sv := s.shard(i)
+		err := sv.Run(ctx)
+		if ctx.Err() != nil || err == nil || errors.Is(err, context.Canceled) {
+			return err
+		}
+		used := s.noteFailure(i, err)
+		if !s.sup.Enabled || !s.sup.Restart || used >= s.sup.maxRestarts() || s.Draining() {
+			s.markDead(i)
+			return err
+		}
+		fresh, nerr := core.NewService(s.cfg, s.coreOpt)
+		if nerr != nil {
+			s.markDead(i)
+			return err
+		}
+		s.svcMu.Lock()
+		s.svcs[i] = fresh
+		s.restarts[i]++
+		s.svcMu.Unlock()
+	}
+}
+
+// Degraded reports partial capacity loss: some shard driver has failed
+// since the service started. Deliberately sticky across restarts — a
+// restarted shard lost its admitted work and statistics, so /healthz
+// keeps surfacing the event until the process is replaced.
+func (s *Service) Degraded() bool {
+	s.svcMu.RLock()
+	defer s.svcMu.RUnlock()
+	return s.failTotal > 0
+}
+
+// SupervisionStats snapshots shard-failure containment for /metrics.
+func (s *Service) SupervisionStats() SupervisionStats {
+	s.svcMu.RLock()
+	defer s.svcMu.RUnlock()
+	st := SupervisionStats{
+		Enabled:  s.sup.Enabled,
+		Shards:   s.n,
+		Failures: s.failTotal,
+	}
+	for i := range s.dead {
+		if s.dead[i] {
+			st.Dead++
+		}
+		st.Restarts += s.restarts[i]
+	}
+	if s.lastFail != nil {
+		st.LastFailure = s.lastFail.Error()
+	}
+	return st
+}
+
+// InjectShardPanic crashes shard i's engine driver (fault tooling; see
+// core.Service.InjectPanic) — the supervision story's test hook.
+func (s *Service) InjectShardPanic(i int, msg string) error {
+	if i < 0 || i >= s.n {
+		return fmt.Errorf("shard: no shard %d", i)
+	}
+	return s.shard(i).InjectPanic(msg)
 }
 
 // Submit routes one request: single-shard requests go straight to their
@@ -170,7 +354,7 @@ func (s *Service) Submit(ctx context.Context, req core.ServiceRequest) (core.Ser
 			mask >>= 1
 			home++
 		}
-		return s.svcs[home].Submit(ctx, req)
+		return s.shard(home).Submit(ctx, req)
 	}
 	pc := &pendingCross{
 		ctx:   ctx,
@@ -279,7 +463,7 @@ func (s *Service) SubmitBatch(subs []core.Submission) []core.SubmitHandle {
 		for k, i := range idxs {
 			group[k] = subs[i]
 		}
-		for k, h := range s.svcs[shard].SubmitBatch(group) {
+		for k, h := range s.shard(shard).SubmitBatch(group) {
 			handles[idxs[k]] = h
 		}
 	}
@@ -314,9 +498,13 @@ func (s *Service) mergePredict() {
 		return
 	}
 	var merged *predict.Table
-	for _, sv := range s.svcs {
+	shards := s.allShards()
+	for _, sv := range shards {
 		snap, ok := sv.PredictSnapshot()
 		if !ok || snap.Table == nil {
+			if s.sup.Enabled {
+				continue // dead or restarting shard: merge the survivors
+			}
 			return // a shard is stopping; skip this tick
 		}
 		if merged == nil {
@@ -325,8 +513,11 @@ func (s *Service) mergePredict() {
 			merged.Merge(snap.Table)
 		}
 	}
-	for _, sv := range s.svcs {
-		if err := sv.SetPredictView(merged); err != nil {
+	if merged == nil {
+		return
+	}
+	for _, sv := range shards {
+		if err := sv.SetPredictView(merged); err != nil && !s.sup.Enabled {
 			return
 		}
 	}
@@ -345,7 +536,7 @@ func (s *Service) fanOut(pc *pendingCross) (core.ServiceOutcome, error) {
 		i, p := i, p
 		go func() {
 			defer wg.Done()
-			outs[i], errs[i] = s.svcs[p.shard].Submit(pc.ctx, p.req)
+			outs[i], errs[i] = s.shard(p.shard).Submit(pc.ctx, p.req)
 		}()
 	}
 	wg.Wait()
@@ -439,7 +630,7 @@ func (s *Service) Drain(ctx context.Context) error {
 	errs := make([]error, s.n)
 	var wg sync.WaitGroup
 	wg.Add(s.n)
-	for i, sv := range s.svcs {
+	for i, sv := range s.allShards() {
 		i, sv := i, sv
 		go func() {
 			defer wg.Done()
@@ -470,7 +661,7 @@ func (s *Service) failQueued(err error) {
 // tooling; see core.Service.InjectEvent). Shard 0 is arbitrary but fixed —
 // the oracle under test is per-shard and identical on all of them.
 func (s *Service) InjectEvent(ev trace.Event) error {
-	return s.svcs[0].InjectEvent(ev)
+	return s.shard(0).InjectEvent(ev)
 }
 
 // Draining reports whether graceful drain has begun.
@@ -480,14 +671,39 @@ func (s *Service) Draining() bool {
 	return s.draining
 }
 
-// Err returns the first shard failure (by shard index), nil while healthy.
+// Err reports the failure that stops (or stopped) the whole service.
+// Unsupervised, that is the first shard failure (by shard index).
+// Supervised, individual shard failures are contained — surfaced via
+// Degraded and SupervisionStats, not Err — and Err stays nil until
+// every shard is permanently dead.
 func (s *Service) Err() error {
-	for _, sv := range s.svcs {
-		if err := sv.Err(); err != nil {
-			return err
+	if !s.sup.Enabled {
+		for _, sv := range s.allShards() {
+			if err := sv.Err(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	s.svcMu.RLock()
+	defer s.svcMu.RUnlock()
+	dead := 0
+	var first error
+	for i := range s.dead {
+		if s.dead[i] {
+			dead++
+			if first == nil {
+				first = s.failures[i]
+			}
 		}
 	}
-	return nil
+	if dead < s.n {
+		return nil
+	}
+	if first != nil {
+		return fmt.Errorf("shard: all %d shards failed: %w", s.n, first)
+	}
+	return fmt.Errorf("shard: all %d shards failed", s.n)
 }
 
 // Stats returns the system-wide snapshot: the shards' run counters merged
@@ -498,9 +714,14 @@ func (s *Service) Err() error {
 func (s *Service) Stats() (core.ServiceStats, bool) {
 	runs := make([]*metrics.Run, 0, s.n)
 	st := core.ServiceStats{}
-	for _, sv := range s.svcs {
+	for _, sv := range s.allShards() {
 		run, live, now, ok := sv.RunSnapshot()
 		if !ok {
+			// Supervised, a dead or mid-restart shard just drops out of
+			// the merged view — the survivors' numbers stay observable.
+			if s.sup.Enabled {
+				continue
+			}
 			return core.ServiceStats{}, false
 		}
 		rc := run
@@ -509,6 +730,9 @@ func (s *Service) Stats() (core.ServiceStats, bool) {
 		if now > st.Now {
 			st.Now = now
 		}
+	}
+	if len(runs) == 0 {
+		return core.ServiceStats{}, false
 	}
 	merged := metrics.MergeRuns(runs...)
 	st.Result = merged.Result()
@@ -527,12 +751,17 @@ func (s *Service) predictStats(now time.Duration) *core.PredictSnapshot {
 	}
 	var tab *predict.Table
 	ps := core.PredictSnapshot{Policy: s.cfg.Policy}
-	for i, sv := range s.svcs {
+	for _, sv := range s.allShards() {
 		snap, ok := sv.PredictSnapshot()
 		if !ok || snap.Table == nil {
+			if s.sup.Enabled {
+				continue // dead or restarting shard: report the survivors
+			}
 			return nil
 		}
-		if i == 0 {
+		if tab == nil {
+			// First live shard is the representative for the tuned weight
+			// (each shard tunes independently).
 			ps.W = snap.W
 			ps.WTrajectory = snap.WTrajectory
 			tab = snap.Table
@@ -540,6 +769,9 @@ func (s *Service) predictStats(now time.Duration) *core.PredictSnapshot {
 			tab.Merge(snap.Table)
 		}
 		ps.TunerSteps += snap.TunerSteps
+	}
+	if tab == nil {
+		return nil
 	}
 	ps.ActivePairs = tab.ActivePairs(now)
 	ps.TopPairs = tab.TopPairs(now, 8)

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -12,6 +13,33 @@ import (
 // ErrClientClosed reports a request issued on (or orphaned by) a closed
 // connection.
 var ErrClientClosed = errors.New("wire: client closed")
+
+// ErrRequestTimeout reports a request whose response did not arrive
+// within the client's request timeout. The request may have been
+// admitted by the server — only its answer is missing — so it is NOT
+// safe to resubmit blindly.
+var ErrRequestTimeout = errors.New("wire: request timed out awaiting response")
+
+// ErrNotSent marks a request the client can prove never reached the
+// wire (the connection was already broken before the frame was
+// buffered). Requests failing with ErrNotSent are safe to resubmit on
+// a fresh connection; every other failure is ambiguous — the server
+// may have admitted the transaction — and must not be retried without
+// idempotence above the protocol.
+var ErrNotSent = errors.New("wire: request not sent")
+
+// ClientOptions tune a wire client; zero values pick defaults.
+type ClientOptions struct {
+	// RequestTimeout bounds the wait for each request's response. A
+	// swallowed response (lost frame, stalled peer, blackholed network)
+	// then fails with ErrRequestTimeout instead of hanging forever.
+	// Default 30s; negative disables the timeout.
+	RequestTimeout time.Duration
+}
+
+// DefaultRequestTimeout is the per-request answer timeout when
+// ClientOptions leaves it zero.
+const DefaultRequestTimeout = 30 * time.Second
 
 // clientResp is what the reader goroutine delivers to a waiter.
 type clientResp struct {
@@ -28,8 +56,9 @@ type clientResp struct {
 // concurrent submitters share syscalls, and a reader goroutine fans the
 // out-of-order responses back to their waiters by request id.
 type Client struct {
-	nc     net.Conn
-	nextID atomic.Uint64
+	nc         net.Conn
+	reqTimeout time.Duration // 0 = no timeout
+	nextID     atomic.Uint64
 
 	wmu  sync.Mutex // guards bw and wbuf
 	bw   *bufWriter
@@ -65,8 +94,13 @@ func (w *bufWriter) flush() error {
 	return err
 }
 
-// Dial connects to a wire server.
+// Dial connects to a wire server with default client options.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
+	return DialOptions(addr, timeout, ClientOptions{})
+}
+
+// DialOptions connects to a wire server.
+func DialOptions(addr string, timeout time.Duration, opt ClientOptions) (*Client, error) {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
@@ -77,17 +111,30 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	if tc, ok := nc.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	return NewClient(nc), nil
+	return NewClientOptions(nc, opt), nil
 }
 
-// NewClient wraps an established connection.
+// NewClient wraps an established connection with default options.
 func NewClient(nc net.Conn) *Client {
+	return NewClientOptions(nc, ClientOptions{})
+}
+
+// NewClientOptions wraps an established connection.
+func NewClientOptions(nc net.Conn, opt ClientOptions) *Client {
+	to := opt.RequestTimeout
+	switch {
+	case to == 0:
+		to = DefaultRequestTimeout
+	case to < 0:
+		to = 0
+	}
 	c := &Client{
-		nc:      nc,
-		bw:      &bufWriter{nc: nc},
-		kick:    make(chan struct{}, 1),
-		waiters: make(map[uint64]chan clientResp),
-		done:    make(chan struct{}),
+		nc:         nc,
+		reqTimeout: to,
+		bw:         &bufWriter{nc: nc},
+		kick:       make(chan struct{}, 1),
+		waiters:    make(map[uint64]chan clientResp),
+		done:       make(chan struct{}),
 	}
 	c.wg.Add(2)
 	go c.readLoop()
@@ -126,7 +173,9 @@ func (c *Client) brokenErr() error {
 	return c.err
 }
 
-// register installs a waiter for a fresh request id.
+// register installs a waiter for a fresh request id. Failure here means
+// the connection was already broken and the frame was never buffered —
+// the one case a caller may safely resubmit, marked with ErrNotSent.
 func (c *Client) register() (uint64, chan clientResp, error) {
 	id := c.nextID.Add(1)
 	ch := make(chan clientResp, 1)
@@ -134,7 +183,7 @@ func (c *Client) register() (uint64, chan clientResp, error) {
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
-		return 0, nil, err
+		return 0, nil, fmt.Errorf("%w: %w", ErrNotSent, err)
 	}
 	c.waiters[id] = ch
 	c.mu.Unlock()
@@ -227,9 +276,47 @@ func (c *Client) readLoop() {
 	}
 }
 
-// Submit sends one submission and waits for its response. Concurrent
-// calls pipeline over the single connection.
+// await blocks until the response for id arrives, the context is done,
+// or the request timeout fires. The waiter channel is buffered, so a
+// response racing the unregister is dropped harmlessly rather than
+// blocking the reader.
+func (c *Client) await(ctx context.Context, id uint64, ch chan clientResp) (clientResp, error) {
+	var timeout <-chan time.Time
+	if c.reqTimeout > 0 {
+		tmr := time.NewTimer(c.reqTimeout)
+		defer tmr.Stop()
+		timeout = tmr.C
+	}
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
+	select {
+	case cr, ok := <-ch:
+		if !ok {
+			return clientResp{}, c.brokenErr()
+		}
+		return cr, nil
+	case <-ctxDone:
+		c.unregister(id)
+		return clientResp{}, ctx.Err()
+	case <-timeout:
+		c.unregister(id)
+		return clientResp{}, ErrRequestTimeout
+	}
+}
+
+// Submit sends one submission and waits for its response, bounded by
+// the client's request timeout. Concurrent calls pipeline over the
+// single connection.
 func (c *Client) Submit(req *SubmitReq) (SubmitResp, error) {
+	return c.SubmitCtx(context.Background(), req)
+}
+
+// SubmitCtx is Submit bounded by ctx as well as the request timeout.
+// On ctx cancellation or timeout the request is abandoned client-side;
+// the server may still execute it.
+func (c *Client) SubmitCtx(ctx context.Context, req *SubmitReq) (SubmitResp, error) {
 	id, ch, err := c.register()
 	if err != nil {
 		return SubmitResp{}, err
@@ -240,9 +327,9 @@ func (c *Client) Submit(req *SubmitReq) (SubmitResp, error) {
 		c.unregister(id)
 		return SubmitResp{}, err
 	}
-	cr, ok := <-ch
-	if !ok {
-		return SubmitResp{}, c.brokenErr()
+	cr, err := c.await(ctx, id, ch)
+	if err != nil {
+		return SubmitResp{}, err
 	}
 	if cr.typ == FrameError {
 		return SubmitResp{}, fmt.Errorf("wire: server error: %s", cr.msg)
@@ -266,9 +353,9 @@ func (c *Client) Metrics() ([]byte, error) {
 		c.unregister(id)
 		return nil, err
 	}
-	cr, ok := <-ch
-	if !ok {
-		return nil, c.brokenErr()
+	cr, err := c.await(context.Background(), id, ch)
+	if err != nil {
+		return nil, err
 	}
 	if cr.typ == FrameError {
 		return nil, fmt.Errorf("wire: server error: %s", cr.msg)
@@ -291,9 +378,9 @@ func (c *Client) Health() (HealthResp, error) {
 		c.unregister(id)
 		return HealthResp{}, err
 	}
-	cr, ok := <-ch
-	if !ok {
-		return HealthResp{}, c.brokenErr()
+	cr, err := c.await(context.Background(), id, ch)
+	if err != nil {
+		return HealthResp{}, err
 	}
 	if cr.typ != FrameHealthResp {
 		return HealthResp{}, fmt.Errorf("wire: unexpected response type %#x", cr.typ)

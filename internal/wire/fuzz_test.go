@@ -20,6 +20,21 @@ func FuzzWireRoundTrip(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add(make([]byte, 29))
+	// Corruption shapes from the chaos-injection work: a payload cut
+	// mid-field, an item count far beyond the remaining bytes, and a
+	// flags byte claiming optional sections that are not there.
+	whole := AppendSubmit(nil, 1, &SubmitReq{
+		Items: []txn.Item{5, 6, 7}, Reads: []bool{true, false, true},
+		Compute: time.Millisecond, Deadline: time.Second,
+	})[headerLen:]
+	f.Add(whole[:len(whole)/2])
+	huge := append([]byte{}, whole...)
+	huge[0] = 0xff
+	huge[1] = 0xff
+	f.Add(huge)
+	lying := append([]byte{}, whole...)
+	lying[len(lying)-1] ^= 0xff
+	f.Add(lying)
 
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		var req SubmitReq

@@ -53,14 +53,22 @@ type ServerOptions struct {
 	MaxFrame int
 	// FlushTimeout bounds each socket write/flush. Default 10s.
 	FlushTimeout time.Duration
+	// IdleTimeout is the rolling per-frame read deadline: a connection
+	// that fails to deliver one complete frame within it is closed and
+	// counted (slow-loris / half-open guard). The deadline re-arms
+	// before every frame, so a healthy pipelined connection is never
+	// cut no matter how long it lives. Default 2m; negative disables.
+	IdleTimeout time.Duration
 }
 
 // Counters is a point-in-time view of the wire front-end's traffic.
 type Counters struct {
-	Conns     int   // currently open connections
-	Submits   int64 // submissions handed to the backend
-	Shed      int64 // submissions refused before reaching the engine
-	BadFrames int64 // submit frames that failed to decode
+	Conns      int   `json:"conns"`       // currently open connections
+	Submits    int64 `json:"submits"`     // submissions handed to the backend
+	Shed       int64 `json:"shed"`        // submissions refused before reaching the engine
+	BadFrames  int64 `json:"bad_frames"`  // submit frames that failed to decode
+	IdleClosed int64 `json:"idle_closed"` // connections cut by the idle read deadline
+	Panics     int64 `json:"panics"`      // connection goroutines recovered from a panic
 }
 
 // Server serves the wire protocol over persistent pipelined TCP
@@ -73,10 +81,13 @@ type Server struct {
 	maxInflight int
 	maxFrame    int
 	flushEvery  time.Duration
+	idleEvery   time.Duration // 0 = no idle deadline
 
-	submits   atomic.Int64
-	shed      atomic.Int64
-	badFrames atomic.Int64
+	submits    atomic.Int64
+	shed       atomic.Int64
+	badFrames  atomic.Int64
+	idleClosed atomic.Int64
+	panics     atomic.Int64
 
 	mu     sync.Mutex
 	conns  map[*conn]struct{}
@@ -96,11 +107,18 @@ func NewServer(b Backend, opt ServerOptions) *Server {
 	if opt.FlushTimeout <= 0 {
 		opt.FlushTimeout = 10 * time.Second
 	}
+	switch {
+	case opt.IdleTimeout == 0:
+		opt.IdleTimeout = 2 * time.Minute
+	case opt.IdleTimeout < 0:
+		opt.IdleTimeout = 0
+	}
 	return &Server{
 		b:           b,
 		maxInflight: opt.MaxInflightPerConn,
 		maxFrame:    opt.MaxFrame,
 		flushEvery:  opt.FlushTimeout,
+		idleEvery:   opt.IdleTimeout,
 		conns:       make(map[*conn]struct{}),
 		lns:         make(map[net.Listener]struct{}),
 	}
@@ -112,10 +130,12 @@ func (s *Server) Counters() Counters {
 	n := len(s.conns)
 	s.mu.Unlock()
 	return Counters{
-		Conns:     n,
-		Submits:   s.submits.Load(),
-		Shed:      s.shed.Load(),
-		BadFrames: s.badFrames.Load(),
+		Conns:      n,
+		Submits:    s.submits.Load(),
+		Shed:       s.shed.Load(),
+		BadFrames:  s.badFrames.Load(),
+		IdleClosed: s.idleClosed.Load(),
+		Panics:     s.panics.Load(),
 	}
 }
 
@@ -167,8 +187,8 @@ func (s *Server) startConn(nc net.Conn) {
 	s.conns[c] = struct{}{}
 	s.wg.Add(2)
 	s.mu.Unlock()
-	go c.readLoop()
-	go c.writeLoop()
+	go c.guarded(c.readLoop)
+	go c.guarded(c.writeLoop)
 }
 
 // Shutdown drains gracefully: it stops accepting, waits (bounded by
@@ -362,6 +382,11 @@ func (c *conn) Complete(id uint64, o core.ServiceOutcome, err error) {
 		f.resp.Finish = o.Finish
 		f.resp.Deadline = o.Deadline
 		f.resp.Response = o.Response
+	case errors.Is(err, core.ErrEngineFailed):
+		// Outcome unknown: the transaction may have partially run, so no
+		// retry hint — blind resubmission could double-execute it.
+		f.resp.Status = StatusFailed
+		f.resp.Err = err.Error()
 	case errors.Is(err, core.ErrDraining) || errors.Is(err, core.ErrServiceStopped):
 		f.resp.Status = StatusShed
 		f.resp.Err = err.Error()
@@ -398,14 +423,40 @@ func (c *conn) shed(id uint64, reason string) {
 	})
 }
 
-func (c *conn) readLoop() {
+// guarded runs one connection goroutine under a recover barrier: a
+// panic (a decode bug tripped by a hostile frame, say) kills only this
+// connection, never the process. The deferred close wounds the
+// connection's inflight work so every pipelined submission still gets
+// its terminal answer — on some other path — rather than leaking.
+func (c *conn) guarded(fn func()) {
 	defer c.srv.wg.Done()
+	defer func() {
+		if p := recover(); p != nil {
+			c.srv.panics.Add(1)
+			c.close()
+			c.nc.Close()
+		}
+	}()
+	fn()
+}
+
+func (c *conn) readLoop() {
 	defer c.close()
 	fr := NewFrameReader(c.nc, c.srv.maxFrame)
 	var req SubmitReq // reused across frames: the zero-alloc decode path
 	for {
+		// Rolling idle deadline: each frame gets a fresh budget, so a
+		// peer that stops mid-frame (slow loris) or goes half-open is
+		// cut instead of pinning the connection forever.
+		if c.srv.idleEvery > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(c.srv.idleEvery))
+		}
 		h, p, err := fr.Next()
 		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && !c.closed.Load() {
+				c.srv.idleClosed.Add(1)
+			}
 			return
 		}
 		switch h.Type {
@@ -472,7 +523,6 @@ func (c *conn) handleSubmit(id uint64, p []byte, req *SubmitReq) {
 }
 
 func (c *conn) writeLoop() {
-	defer c.srv.wg.Done()
 	bw := bufio.NewWriterSize(c.nc, 64<<10)
 	var buf []byte
 	write := func(f *outFrame) bool {

@@ -69,6 +69,7 @@ const (
 	StatusRejected  = 2 // admission control turned it away
 	StatusShed      = 3 // never reached the engine: overload or draining
 	StatusInvalid   = 4 // malformed or rejected by validation
+	StatusFailed    = 5 // engine failed with the submission in flight; outcome unknown
 )
 
 // ErrFrameTooLarge reports a length prefix above the reader's cap.
