@@ -14,7 +14,9 @@
 //
 // SIGINT/SIGTERM stop the proxy: accepting ends, every relayed
 // connection is severed, and the final fault counters are printed as
-// JSON to stderr before a clean exit 0.
+// JSON to stderr before a clean exit 0. With -report-json the same
+// counters are also written to a file, so harnesses (the kill-9 soak in
+// CI) can scrape them without parsing stderr.
 package main
 
 import (
@@ -41,10 +43,11 @@ func run(args []string, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rtchaos", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		listen   = fs.String("listen", "127.0.0.1:9344", "proxy listen address")
-		target   = fs.String("target", "", "target address to relay to (required)")
-		seed     = fs.Int64("seed", 1, "fault-schedule seed; same seed and plan replay the same faults")
-		planJSON = fs.String("plan", "{}", "fault plan as JSON (see internal/chaos.Plan); {} relays faithfully")
+		listen     = fs.String("listen", "127.0.0.1:9344", "proxy listen address")
+		target     = fs.String("target", "", "target address to relay to (required)")
+		seed       = fs.Int64("seed", 1, "fault-schedule seed; same seed and plan replay the same faults")
+		planJSON   = fs.String("plan", "{}", "fault plan as JSON (see internal/chaos.Plan); {} relays faithfully")
+		reportJSON = fs.String("report-json", "", "write the final fault counters as JSON to this file on shutdown")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -93,6 +96,14 @@ func run(args []string, stderr io.Writer) int {
 	c := p.Counters()
 	b, _ := json.Marshal(c)
 	fmt.Fprintf(stderr, "rtchaos: counters %s\n", b)
+	if *reportJSON != "" {
+		if err := os.WriteFile(*reportJSON, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "rtchaos: %v\n", err)
+			if runErr == nil {
+				runErr = err
+			}
+		}
+	}
 	if runErr != nil {
 		fmt.Fprintf(stderr, "rtchaos: %v\n", runErr)
 		return 1

@@ -1,9 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+
 	"bytes"
 	"io"
 	"net"
+	"repro/internal/chaos"
 	"strings"
 	"sync"
 	"syscall"
@@ -126,5 +131,87 @@ func TestRelayAndSignalStop(t *testing.T) {
 	}
 	if !strings.Contains(out, "shutdown complete") {
 		t.Fatalf("no shutdown line:\n%s", out)
+	}
+}
+
+// TestReportJSONOnSIGINT: SIGINT (not just SIGTERM) stops the proxy
+// cleanly, and -report-json leaves the final counters in a file the
+// crash harness can scrape without parsing stderr.
+func TestReportJSONOnSIGINT(t *testing.T) {
+	tln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tln.Close()
+	go func() {
+		for {
+			c, err := tln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(c, c); c.Close() }()
+		}
+	}()
+
+	report := filepath.Join(t.TempDir(), "counters.json")
+	var buf syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-target", tln.Addr().String(),
+			"-report-json", report,
+		}, &buf)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no banner: %q", buf.String())
+		}
+		for _, ln := range strings.Split(buf.String(), "\n") {
+			if strings.HasPrefix(ln, "rtchaos: relaying ") {
+				addr = strings.Fields(ln)[2]
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit %d, want 0\nstderr: %s", code, buf.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("proxy did not stop on SIGINT\nstderr: %s", buf.String())
+	}
+
+	b, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs chaos.Counters
+	if err := json.Unmarshal(b, &cs); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, b)
+	}
+	if cs.Accepted < 1 {
+		t.Fatalf("report counted %d accepts, want >= 1: %s", cs.Accepted, b)
 	}
 }

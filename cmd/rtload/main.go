@@ -23,8 +23,10 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -69,7 +71,8 @@ type loadOptions struct {
 	retryMax   time.Duration
 	reqTimeout time.Duration
 
-	report string
+	report  string
+	journal string
 }
 
 // tally accumulates outcomes across workers.
@@ -83,8 +86,16 @@ type tally struct {
 	invalid   atomic.Int64
 	errors    atomic.Int64
 	overflow  atomic.Int64 // open loop: outstanding cap hit, request not sent
-	retried   atomic.Int64 // resubmissions after an overload signal (shed/rejected)
+	retried   atomic.Int64 // resubmissions after an overload signal (shed/rejected) or a provably-unsent failure
 	abandoned atomic.Int64 // requests still shed/rejected after the retry budget
+
+	// The error split that matters for crash reconciliation: a request
+	// abandoned on wire.ErrNotSent provably never reached the server (no
+	// effects possible, safe to have retried), while an ambiguous failure
+	// — reset after the frame went out, response timeout — may have been
+	// admitted and must be checked against the server's WAL.
+	abandonedUnsent    atomic.Int64
+	abandonedAmbiguous atomic.Int64
 
 	mu   sync.Mutex
 	hist metrics.Histogram // wall latency of answered requests, ms
@@ -113,12 +124,17 @@ type Report struct {
 	Errors     int64   `json:"errors"`
 	Overflow   int64   `json:"overflow"`
 	Retried    int64   `json:"retried"`
-	Abandoned  int64   `json:"abandoned"`
-	P50Ms      float64 `json:"p50_ms"`
-	P95Ms      float64 `json:"p95_ms"`
-	P99Ms      float64 `json:"p99_ms"`
-	MaxMs      float64 `json:"max_ms"`
-	MeanMs     float64 `json:"mean_ms"`
+	// Abandoned is the sum of the three ways a request ends without a
+	// server answer the client trusts: still shed/rejected after the
+	// retry budget, provably never sent, or ambiguously lost.
+	Abandoned          int64   `json:"abandoned"`
+	AbandonedUnsent    int64   `json:"abandoned_unsent"`
+	AbandonedAmbiguous int64   `json:"abandoned_ambiguous"`
+	P50Ms              float64 `json:"p50_ms"`
+	P95Ms              float64 `json:"p95_ms"`
+	P99Ms              float64 `json:"p99_ms"`
+	MaxMs              float64 `json:"max_ms"`
+	MeanMs             float64 `json:"mean_ms"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -143,6 +159,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.DurationVar(&o.retryMax, "retry-max", 2*time.Second, "cap on any single retry backoff sleep")
 	fs.DurationVar(&o.reqTimeout, "req-timeout", 30*time.Second, "per-request timeout (both protocols)")
 	fs.StringVar(&o.report, "report", "text", "report format on stdout: text or json")
+	fs.StringVar(&o.journal, "journal", "", "write a JSONL outcome journal (one line per attempt, with the server's WAL seq) for crash reconciliation")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -159,8 +176,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	submit, closeFn, err := newSubmitter(&o)
+	var jn *journal
+	if o.journal != "" {
+		j, err := openJournal(o.journal)
+		if err != nil {
+			fmt.Fprintf(stderr, "rtload: %v\n", err)
+			return 1
+		}
+		jn = j
+	}
+
+	submit, closeFn, err := newSubmitter(&o, jn)
 	if err != nil {
+		jn.close()
 		fmt.Fprintf(stderr, "rtload: %v\n", err)
 		return 1
 	}
@@ -176,6 +204,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		runOpen(&o, &tl, submit)
 	}
 	elapsed := time.Since(start)
+
+	if err := jn.close(); err != nil {
+		fmt.Fprintf(stderr, "rtload: journal: %v\n", err)
+		return 1
+	}
 
 	rep := buildReport(&o, &tl, elapsed)
 	switch o.report {
@@ -202,8 +235,87 @@ const (
 	outShed
 	outDropped
 	outInvalid
-	outError
+	outErrUnsent // wire.ErrNotSent: provably never reached the server
+	outError     // ambiguous failure: the server may have admitted it
 )
+
+// label is the outcome's journal spelling.
+func (o outcome) label() string {
+	switch o {
+	case outCommitted:
+		return "committed"
+	case outMissed:
+		return "missed"
+	case outRejected:
+		return "rejected"
+	case outShed:
+		return "shed"
+	case outDropped:
+		return "dropped"
+	case outInvalid:
+		return "invalid"
+	case outErrUnsent:
+		return "error_unsent"
+	default:
+		return "error_ambiguous"
+	}
+}
+
+// journal persists one JSONL line per submit attempt (-journal): the
+// client's half of crash reconciliation. Every line whose seq is
+// non-zero is a server ack under that WAL sequence — after a kill-9 and
+// a -recover restart, `rtserve -wal-dump` must show exactly one
+// terminal outcome for each. Lines with seq 0 never got an ack; the
+// error_unsent ones provably left no server-side trace, while
+// error_ambiguous ones may appear in the dump as unresolved or replayed
+// work. Attempts, not requests, are journaled: each retry is its own
+// server-side submission with its own seq.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+// journalEntry is one JSONL journal line.
+type journalEntry struct {
+	Seq     uint64 `json:"seq,omitempty"` // server WAL sequence of the ack, 0 when unacked
+	Outcome string `json:"outcome"`
+	Missed  bool   `json:"missed,omitempty"` // committed past its deadline
+}
+
+func openJournal(path string) (*journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &journal{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// record appends one attempt. A nil journal records nothing, so the
+// submit paths call it unconditionally.
+func (j *journal) record(seq uint64, out outcome) {
+	if j == nil {
+		return
+	}
+	b, _ := json.Marshal(journalEntry{Seq: seq, Outcome: out.label(), Missed: out == outMissed})
+	j.mu.Lock()
+	j.w.Write(b)
+	j.w.WriteByte('\n')
+	j.mu.Unlock()
+}
+
+func (j *journal) close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
 
 // submitFn issues one request built from the worker's RNG and reports
 // how it ended, plus the server's Retry-After hint in seconds (0 when
@@ -211,9 +323,13 @@ const (
 type submitFn func(rng *rand.Rand) (outcome, int)
 
 // withRetry wraps a submitFn with the client-side overload protocol: a
-// shed or rejected answer is resubmitted up to o.retries times after a
-// jittered backoff honoring the server's Retry-After hint (full jitter:
-// a uniform draw up to the hint, capped at o.retryMax). Each extra
+// shed or rejected answer — or a provably-unsent failure, which cannot
+// have server-side effects — is resubmitted up to o.retries times after
+// a jittered backoff honoring the server's Retry-After hint (full
+// jitter: a uniform draw up to the hint, capped at o.retryMax).
+// Ambiguous failures are never retried here: the server may have
+// admitted the transaction, and blind resubmission would create the
+// duplicate effects the recovery harness exists to rule out. Each extra
 // attempt counts in tl.retried; a request still shed/rejected when the
 // budget runs out counts in tl.abandoned and keeps its final outcome.
 func withRetry(o *loadOptions, tl *tally, submit submitFn) submitFn {
@@ -222,7 +338,7 @@ func withRetry(o *loadOptions, tl *tally, submit submitFn) submitFn {
 	}
 	return func(rng *rand.Rand) (outcome, int) {
 		out, hint := submit(rng)
-		for attempt := 1; attempt <= o.retries && (out == outShed || out == outRejected); attempt++ {
+		for attempt := 1; attempt <= o.retries && (out == outShed || out == outRejected || out == outErrUnsent); attempt++ {
 			ceiling := time.Duration(hint) * time.Second
 			if ceiling <= 0 {
 				// No hint: exponential base so blind retries still spread out.
@@ -243,8 +359,10 @@ func withRetry(o *loadOptions, tl *tally, submit submitFn) submitFn {
 }
 
 // newSubmitter builds the per-protocol submit function. The returned
-// function is safe for concurrent use.
-func newSubmitter(o *loadOptions) (submitFn, func(), error) {
+// function is safe for concurrent use. Every attempt is recorded in jn
+// (nil when -journal is unset) with the server's WAL sequence when the
+// answer carried one.
+func newSubmitter(o *loadOptions, jn *journal) (submitFn, func(), error) {
 	gen := func(rng *rand.Rand) ([]txn.Item, []bool) {
 		items := make([]txn.Item, 0, o.items)
 		seen := make(map[int]bool, o.items)
@@ -291,25 +409,33 @@ func newSubmitter(o *loadOptions) (submitFn, func(), error) {
 				Compute: o.compute, Deadline: o.deadline,
 			})
 			if err != nil {
-				return outError, 0
+				out := outError
+				if errors.Is(err, wire.ErrNotSent) {
+					out = outErrUnsent
+				}
+				jn.record(0, out)
+				return out, 0
 			}
+			out, hint := outInvalid, 0
 			switch resp.Status {
 			case wire.StatusCommitted:
+				out = outCommitted
 				if resp.Missed {
-					return outMissed, 0
+					out = outMissed
 				}
-				return outCommitted, 0
 			case wire.StatusRejected:
-				return outRejected, int(resp.RetryAfter)
+				out, hint = outRejected, int(resp.RetryAfter)
 			case wire.StatusShed:
-				return outShed, int(resp.RetryAfter)
+				out, hint = outShed, int(resp.RetryAfter)
 			case wire.StatusDropped:
-				return outDropped, 0
+				out = outDropped
 			case wire.StatusFailed:
-				return outError, 0
-			default:
-				return outInvalid, 0
+				// The server answered but could not vouch for the outcome
+				// (engine or log failure): ambiguous, like a lost answer.
+				out = outError
 			}
+			jn.record(resp.Seq, out)
+			return out, hint
 		}
 		closeFn := func() {
 			for _, c := range clients {
@@ -336,6 +462,7 @@ func newSubmitter(o *loadOptions) (submitFn, func(), error) {
 	type jsonResp struct {
 		State  string `json:"state"`
 		Missed bool   `json:"missed"`
+		WALSeq uint64 `json:"wal_seq"`
 	}
 	fn := func(rng *rand.Rand) (outcome, int) {
 		items, reads := gen(rng)
@@ -350,32 +477,44 @@ func newSubmitter(o *loadOptions) (submitFn, func(), error) {
 		})
 		resp, err := hc.Post(url, "application/json", bytes.NewReader(body))
 		if err != nil {
+			// HTTP gives no not-sent proof, so every transport failure is
+			// ambiguous.
+			jn.record(0, outError)
 			return outError, 0
 		}
 		defer resp.Body.Close()
 		hint, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
 		var jr jsonResp
 		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			out := outError
 			if resp.StatusCode == http.StatusBadRequest {
-				return outInvalid, 0
+				out = outInvalid
 			}
-			return outError, 0
+			jn.record(0, out)
+			return out, 0
 		}
+		out := outError
 		switch jr.State {
 		case "committed":
+			out = outCommitted
 			if jr.Missed {
-				return outMissed, 0
+				out = outMissed
 			}
-			return outCommitted, 0
 		case "rejected":
-			return outRejected, hint
+			out = outRejected
 		case "shed":
-			return outShed, hint
+			out = outShed
 		case "dropped":
-			return outDropped, 0
+			out = outDropped
 		default:
-			return outError, 0
+			hint = 0
 		}
+		jn.record(jr.WALSeq, out)
+		switch out {
+		case outRejected, outShed:
+			return out, hint
+		}
+		return out, 0
 	}
 	return fn, tr.CloseIdleConnections, nil
 }
@@ -399,8 +538,12 @@ func record(tl *tally, out outcome, d time.Duration) {
 		tl.dropped.Add(1)
 	case outInvalid:
 		tl.invalid.Add(1)
+	case outErrUnsent:
+		tl.errors.Add(1)
+		tl.abandonedUnsent.Add(1)
 	default:
 		tl.errors.Add(1)
+		tl.abandonedAmbiguous.Add(1)
 	}
 }
 
@@ -466,21 +609,23 @@ func runOpen(o *loadOptions, tl *tally, submit submitFn) {
 
 func buildReport(o *loadOptions, tl *tally, elapsed time.Duration) Report {
 	rep := Report{
-		Proto:     o.proto,
-		Mode:      o.mode,
-		Duration:  elapsed.Seconds(),
-		Sent:      tl.sent.Load(),
-		Committed: tl.committed.Load(),
-		Missed:    tl.missed.Load(),
-		Rejected:  tl.rejected.Load(),
-		Shed:      tl.shed.Load(),
-		Dropped:   tl.dropped.Load(),
-		Invalid:   tl.invalid.Load(),
-		Errors:    tl.errors.Load(),
-		Overflow:  tl.overflow.Load(),
-		Retried:   tl.retried.Load(),
-		Abandoned: tl.abandoned.Load(),
+		Proto:              o.proto,
+		Mode:               o.mode,
+		Duration:           elapsed.Seconds(),
+		Sent:               tl.sent.Load(),
+		Committed:          tl.committed.Load(),
+		Missed:             tl.missed.Load(),
+		Rejected:           tl.rejected.Load(),
+		Shed:               tl.shed.Load(),
+		Dropped:            tl.dropped.Load(),
+		Invalid:            tl.invalid.Load(),
+		Errors:             tl.errors.Load(),
+		Overflow:           tl.overflow.Load(),
+		Retried:            tl.retried.Load(),
+		AbandonedUnsent:    tl.abandonedUnsent.Load(),
+		AbandonedAmbiguous: tl.abandonedAmbiguous.Load(),
 	}
+	rep.Abandoned = tl.abandoned.Load() + rep.AbandonedUnsent + rep.AbandonedAmbiguous
 	if o.mode == "open" {
 		rep.TargetRate = o.rate
 	}
@@ -527,11 +672,13 @@ func printText(w io.Writer, r Report) {
 		{"shed", r.Shed}, {"dropped", r.Dropped}, {"invalid", r.Invalid},
 		{"errors", r.Errors}, {"overflow", r.Overflow},
 		{"retried", r.Retried}, {"abandoned", r.Abandoned},
+		{"abandoned_unsent", r.AbandonedUnsent},
+		{"abandoned_ambiguous", r.AbandonedAmbiguous},
 	}
 	sort.SliceStable(lines, func(i, j int) bool { return lines[i].n > lines[j].n })
 	for _, l := range lines {
 		if l.n > 0 {
-			fmt.Fprintf(w, "  %-9s %d\n", l.name, l.n)
+			fmt.Fprintf(w, "  %-19s %d\n", l.name, l.n)
 		}
 	}
 	if r.P50Ms > 0 || r.MaxMs > 0 {

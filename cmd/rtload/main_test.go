@@ -8,6 +8,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -15,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 // startServer brings up an in-process dual-protocol server on loopback
@@ -262,5 +265,94 @@ func TestRetryHonorsOverloadSignal(t *testing.T) {
 	}
 	if rep.Retried < rep.Abandoned {
 		t.Fatalf("each abandoned request should have burned its retry budget: %+v", rep)
+	}
+}
+
+// TestJournalRecordsAcks drives a WAL-enabled server with -journal set
+// and checks the client-side half of crash reconciliation: one JSONL
+// line per attempt, every committed ack carrying a distinct server WAL
+// sequence, and the abandoned split present (and zero) on a healthy run.
+func TestJournalRecordsAcks(t *testing.T) {
+	srv, err := server.New(server.Options{
+		Core:    core.MainMemoryConfig(core.CCA, 17),
+		Service: core.ServiceOptions{Speed: 5000},
+		WALFS:   wal.NewMemFS(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeListeners(ctx, httpLn, wireLn) }()
+	defer func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Error("server did not shut down")
+		}
+	}()
+
+	for _, tc := range []struct{ proto, target string }{
+		{"wire", wireLn.Addr().String()},
+		{"json", httpLn.Addr().String()},
+	} {
+		path := filepath.Join(t.TempDir(), "journal.jsonl")
+		rep, _ := runLoad(t,
+			"-target", tc.target, "-proto", tc.proto,
+			"-mode", "closed", "-workers", "4", "-duration", "300ms",
+			"-compute", "50us", "-deadline", "2s",
+			"-report", "json", "-journal", path)
+		if rep.Committed == 0 {
+			t.Fatalf("%s: nothing committed: %+v", tc.proto, rep)
+		}
+		if rep.AbandonedUnsent != 0 || rep.AbandonedAmbiguous != 0 {
+			t.Fatalf("%s: abandoned on a healthy run: %+v", tc.proto, rep)
+		}
+
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type entry struct {
+			Seq     uint64 `json:"seq"`
+			Outcome string `json:"outcome"`
+		}
+		var lines int64
+		var committed int64
+		seen := make(map[uint64]bool)
+		for _, raw := range bytes.Split(bytes.TrimSpace(b), []byte("\n")) {
+			var e entry
+			if err := json.Unmarshal(raw, &e); err != nil {
+				t.Fatalf("%s: bad journal line %q: %v", tc.proto, raw, err)
+			}
+			lines++
+			switch e.Outcome {
+			case "committed", "missed":
+				committed++
+				if e.Seq == 0 {
+					t.Fatalf("%s: committed ack without a WAL seq: %q", tc.proto, raw)
+				}
+				if seen[e.Seq] {
+					t.Fatalf("%s: WAL seq %d acked twice", tc.proto, e.Seq)
+				}
+				seen[e.Seq] = true
+			}
+		}
+		// One line per attempt: requests plus the extra retry attempts.
+		if want := rep.Sent + rep.Retried; lines != want {
+			t.Fatalf("%s: %d journal lines, want sent+retried = %d (%+v)", tc.proto, lines, want, rep)
+		}
+		if committed != rep.Committed {
+			t.Fatalf("%s: %d committed journal lines, report says %d", tc.proto, committed, rep.Committed)
+		}
 	}
 }

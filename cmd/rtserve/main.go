@@ -24,6 +24,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/server"
 	"repro/internal/shard"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -73,6 +75,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxRestarts = fs.Int("max-restarts", 0, "with -restart-shards: per-shard restart budget (0 = default)")
 		wireIdle    = fs.Duration("wire-idle-timeout", 0, "close wire connections idle between frames for this long (slow-loris guard; 0 = default, negative disables)")
 
+		walDir     = fs.String("wal-dir", "", "directory for the durable submission log; empty disables durability")
+		walSync    = fs.Duration("wal-sync", 0, "WAL group-commit coalescing interval; 0 (the default) fsyncs as soon as appends are pending, so batches grow only under load")
+		walSegment = fs.Int64("wal-segment", 0, "WAL segment rotation size in bytes (0 = default 64MiB)")
+		walRetain  = fs.Int("wal-retain", 0, "fully-resolved WAL segments to keep before deletion (0 = default)")
+		recoverWAL = fs.Bool("recover", false, "replay unresolved WAL submissions through the engine at startup (requires -wal-dir); without it they are resolved as aborted")
+		walDump    = fs.Bool("wal-dump", false, "scan the WAL at -wal-dir, print every record as JSON lines plus a summary, and exit")
+
 		predScale = fs.Float64("predict-scale", -1, "cca-p/cca-t: observed-conflict-rate penalty scale (-1 = default)")
 		predDecay = fs.Float64("predict-decay", -1, "cca-p/cca-t: per-window statistics decay in [0,1] (-1 = default)")
 		feedback  = fs.Int("feedback", 0, "cca-t: terminal decisions per tuner feedback window (0 = default)")
@@ -81,6 +90,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		epsilon   = fs.Float64("epsilon", 0, "cca-t: ε-greedy exploration probability")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *walDump {
+		return dumpWAL(*walDir, stdout, stderr)
+	}
+	if *recoverWAL && *walDir == "" {
+		fmt.Fprintln(stderr, "rtserve: -recover requires -wal-dir")
 		return 2
 	}
 
@@ -140,10 +157,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ReadTimeout:     *readTO,
 		WriteTimeout:    *writeTO,
 		WireIdleTimeout: *wireIdle,
+		WALDir:          *walDir,
+		WALSync:         *walSync,
+		WALSegmentBytes: *walSegment,
+		WALRetain:       *walRetain,
+		Recover:         *recoverWAL,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "rtserve: %v\n", err)
 		return 1
+	}
+	if rec := srv.Recovery(); rec != nil {
+		fmt.Fprintf(stderr, "rtserve: wal: scanned %d segments, %d records, %d unresolved (truncated=%v)\n",
+			rec.Segments, rec.Records, len(rec.Unresolved), rec.Truncated)
+		if len(rec.Unresolved) > 0 && !*recoverWAL {
+			fmt.Fprintf(stderr, "rtserve: wal: resolving %d unresolved submissions as aborted (run with -recover to replay them)\n", len(rec.Unresolved))
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -175,6 +204,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	serveErr := srv.ServeListeners(ctx, ln, wireLn)
 	stop()
 
+	if srv.WAL() != nil {
+		ws := srv.WAL().Stats()
+		rs := srv.ReplayStats()
+		fmt.Fprintf(stderr, "rtserve: wal: %d submits, %d outcomes, %d syncs, %d unresolved; replay replayed=%d aborted=%d failed=%d\n",
+			ws.Submits, ws.Outcomes, ws.Syncs, ws.Unresolved, rs.Replayed, rs.Aborted, rs.Failed)
+	}
+
 	// Flush the final metrics snapshot taken during drain.
 	if st, ok := srv.Final(); ok {
 		r := st.Result
@@ -194,4 +230,80 @@ func orDefault(s, def string) string {
 		return def
 	}
 	return s
+}
+
+// dumpWAL scans the log at dir read-only and prints every valid record
+// as one JSON object per line on stdout — submits, outcomes, then a
+// final {"type":"summary",...} line carrying the scan totals. The
+// crash-soak harness reconciles this output against rtload's
+// client-side outcome journal.
+func dumpWAL(dir string, stdout, stderr io.Writer) int {
+	if dir == "" {
+		fmt.Fprintln(stderr, "rtserve: -wal-dump requires -wal-dir")
+		return 2
+	}
+	fsys, err := wal.NewDirFS(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "rtserve: %v\n", err)
+		return 1
+	}
+	type submitLine struct {
+		Type        string  `json:"type"`
+		Seq         uint64  `json:"seq"`
+		Items       []int32 `json:"items"`
+		ComputeMs   float64 `json:"compute_ms"`
+		DeadlineMs  float64 `json:"deadline_ms"`
+		Criticality int     `json:"criticality,omitempty"`
+		Class       int     `json:"class,omitempty"`
+	}
+	type outcomeLine struct {
+		Type     string `json:"type"`
+		Seq      uint64 `json:"seq"`
+		State    string `json:"state"`
+		Missed   bool   `json:"missed"`
+		Replayed bool   `json:"replayed,omitempty"`
+		Aborted  bool   `json:"aborted,omitempty"`
+		Restarts uint32 `json:"restarts,omitempty"`
+	}
+	msf := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	enc := json.NewEncoder(stdout)
+	rec, err := wal.Scan(fsys, func(h wal.Header, sub *wal.SubmitRecord, out *wal.OutcomeRecord) error {
+		switch h.Type {
+		case wal.RecSubmit:
+			return enc.Encode(submitLine{
+				Type:        "submit",
+				Seq:         sub.Seq,
+				Items:       sub.Items,
+				ComputeMs:   msf(sub.Compute),
+				DeadlineMs:  msf(sub.Deadline),
+				Criticality: sub.Criticality,
+				Class:       sub.Class,
+			})
+		case wal.RecOutcome:
+			return enc.Encode(outcomeLine{
+				Type:     "outcome",
+				Seq:      out.Seq,
+				State:    core.State(out.State).String(),
+				Missed:   out.Missed,
+				Replayed: out.Replayed(),
+				Aborted:  out.Aborted(),
+				Restarts: out.Restarts,
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "rtserve: wal scan: %v\n", err)
+		return 1
+	}
+	summary := struct {
+		Type string `json:"type"`
+		*wal.Recovery
+		Unresolved int `json:"unresolved"`
+	}{Type: "summary", Recovery: rec, Unresolved: len(rec.Unresolved)}
+	if err := enc.Encode(summary); err != nil {
+		fmt.Fprintf(stderr, "rtserve: %v\n", err)
+		return 1
+	}
+	return 0
 }

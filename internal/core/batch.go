@@ -23,6 +23,11 @@ import (
 type Submission struct {
 	Req  ServiceRequest
 	Done func(ServiceOutcome, error)
+	// WALSeq marks a crash-recovery replay: the submission's submit
+	// record already exists in the write-ahead log under this sequence
+	// number, so the service skips the submit append and stamps the
+	// outcome record FlagReplayed. Zero for ordinary submissions.
+	WALSeq uint64
 }
 
 // SubmitHandle wounds one batched in-flight submission, the batch
@@ -84,6 +89,19 @@ func (s *Service) SubmitBatch(subs []Submission) []SubmitHandle {
 		if err := sub.Req.validate(&s.e.cfg); err != nil {
 			sub.Done(ServiceOutcome{}, err)
 			continue
+		}
+		// Durability: append the submit record before injection (replays
+		// already have one), and gate Done on the outcome record's fsync.
+		if s.wal.Enabled() {
+			seq, replay := sub.WALSeq, sub.WALSeq != 0
+			if !replay {
+				var err error
+				if seq, err = s.wal.LogSubmit(&sub.Req); err != nil {
+					sub.Done(ServiceOutcome{}, err)
+					continue
+				}
+			}
+			sub.Done = s.wal.WrapDone(seq, replay, sub.Done)
 		}
 		specs[i] = &workload.Spec{
 			Items:       sub.Req.Items,

@@ -31,6 +31,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/txn"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -77,6 +78,10 @@ type ServiceOptions struct {
 	// .StallBudget): max same-instant events before the driver declares a
 	// stall. 0 picks a generous default; < 0 disables.
 	StallBudget int
+	// WAL, when non-nil, makes submissions durable: submit records are
+	// appended before injection, outcomes before the client's callback
+	// fires (see WALHook). nil leaves the submit path untouched.
+	WAL *wal.Logger
 }
 
 // ServiceRequest describes one submitted transaction. The deadline is
@@ -152,6 +157,10 @@ type ServiceOutcome struct {
 	// Restarts counts how many times the transaction was wounded and
 	// re-run before finishing.
 	Restarts int
+	// Seq is the write-ahead-log sequence number of the submission (0
+	// when the service runs without a WAL). Clients journal it to
+	// reconcile against the recovered server after a crash.
+	Seq uint64
 }
 
 // ServiceStats is a point-in-time observability snapshot.
@@ -170,8 +179,9 @@ type ServiceStats struct {
 
 // Service is a wall-clock transaction service over one Engine.
 type Service struct {
-	e  *Engine
-	rt *sim.Realtime
+	e   *Engine
+	rt  *sim.Realtime
+	wal WALHook
 
 	stopCh chan struct{}
 
@@ -232,7 +242,7 @@ func NewService(cfg Config, opt ServiceOptions) (*Service, error) {
 	if e.run.SampleWindow == 0 {
 		e.run.SampleWindow = 4096
 	}
-	s := &Service{e: e, stopCh: make(chan struct{})}
+	s := &Service{e: e, wal: WALHook{Log: opt.WAL}, stopCh: make(chan struct{})}
 	if opt.Oracle {
 		e.EnableOracle()
 	}
@@ -352,6 +362,19 @@ func (s *Service) Submit(ctx context.Context, req ServiceRequest) (ServiceOutcom
 
 	done := make(chan ServiceOutcome, 1)
 	failed := make(chan error, 1)
+	seq, err := s.wal.LogSubmit(&req)
+	if err != nil {
+		return ServiceOutcome{}, err
+	}
+	// deliver routes a terminal answer onto the waiter's channels; with a
+	// WAL the wrapping defers it until the outcome record is durable.
+	deliver := s.wal.WrapDone(seq, false, func(o ServiceOutcome, err error) {
+		if err != nil {
+			failed <- err
+			return
+		}
+		done <- o
+	})
 	spec := &workload.Spec{
 		Items:       req.Items,
 		Compute:     req.Compute,
@@ -363,18 +386,19 @@ func (s *Service) Submit(ctx context.Context, req ServiceRequest) (ServiceOutcom
 	// tp is written by the arrival call and read by the cancellation
 	// call; both run on the driver goroutine, which orders them.
 	var tp *Txn
-	err := s.rt.Call(func() {
+	err = s.rt.Call(func() {
 		now := time.Duration(s.e.sim.Now())
 		spec.Arrival = now
 		spec.Deadline = now + req.Deadline
 		tp = s.e.addServiceTxn(spec, func(t *Txn) {
-			done <- outcomeOf(t)
+			deliver(outcomeOf(t), nil)
 			s.e.retireServiceTxn(t)
 		})
-		tp.failHook = func(err error) { failed <- err }
+		tp.failHook = func(err error) { deliver(ServiceOutcome{}, err) }
 		s.e.onArrival(tp)
 	})
 	if err != nil {
+		deliver(ServiceOutcome{}, ErrServiceStopped)
 		return ServiceOutcome{}, ErrServiceStopped
 	}
 

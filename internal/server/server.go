@@ -42,10 +42,12 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/shard"
 	"repro/internal/trace"
 	"repro/internal/txn"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -105,6 +107,33 @@ type Options struct {
 	// connections (and their inflight slots) forever (default 15s each).
 	ReadTimeout  time.Duration
 	WriteTimeout time.Duration
+	// WALDir enables the durable submission log: accepted submissions
+	// and their outcomes are appended to segment files in this
+	// directory, and answers wait for the outcome record's group-commit
+	// fsync. Empty (and WALFS nil) disables durability entirely — the
+	// submit path is then a proven zero-overhead passthrough.
+	WALDir string
+	// WALSync is the group-commit coalescing interval (0 = fsync every
+	// observed batch; see wal.Options.SyncEvery).
+	WALSync time.Duration
+	// WALSegmentBytes and WALRetain tune segment rotation and retention
+	// (0 = wal defaults).
+	WALSegmentBytes int64
+	WALRetain       int
+	// Recover replays unresolved submissions found in the WAL at
+	// startup through the engine (outcomes stamped FlagReplayed).
+	// Without it, unresolved records are resolved as aborted — the log
+	// converges, nothing re-executes.
+	Recover bool
+	// WALFS overrides the log's filesystem (tests, crash harness);
+	// when set, WALDir is ignored.
+	WALFS wal.FS
+	// WALFileFaults injects seeded file-level faults (torn writes,
+	// short writes, fsync errors, checksum corruption) into every
+	// segment file — the crash harness's knob. The zero plan is an
+	// identity passthrough.
+	WALFileFaults fault.FilePlan
+	WALFaultSeed  int64
 }
 
 func (o *Options) fillDefaults() {
@@ -163,16 +192,27 @@ type Server struct {
 	finalMu sync.Mutex
 	final   core.ServiceStats
 	finalOK bool
+
+	// Durability state (nil wal = disabled). recovering is true from
+	// construction until the startup replay of unresolved WAL records
+	// has finished; replayDone closes at that point so shutdown can
+	// order the logger's Close after the replay.
+	wal        *wal.Logger
+	recovery   *wal.Recovery
+	recovering atomic.Bool
+	replayDone chan struct{}
+	replay     replayState
 }
 
 // New builds the server and its engine(s): one core.Service, or a
 // shard.Service when Options.Shards > 1.
 func New(opts Options) (*Server, error) {
 	opts.fillDefaults()
-	var (
-		svc Service
-		err error
-	)
+	log, recovery, err := openWAL(&opts)
+	if err != nil {
+		return nil, err
+	}
+	var svc Service
 	if opts.Shards > 1 || opts.Supervise.Enabled {
 		n := opts.Shards
 		if n < 1 {
@@ -183,18 +223,32 @@ func New(opts Options) (*Server, error) {
 			Epoch:     opts.Epoch,
 			Core:      opts.Service,
 			Supervise: opts.Supervise,
+			WAL:       log,
 		})
 	} else {
+		opts.Service.WAL = log
 		svc, err = core.NewService(opts.Core, opts.Service)
 	}
 	if err != nil {
+		if log != nil {
+			_ = log.Close()
+		}
 		return nil, err
 	}
 	s := &Server{
-		opts:     opts,
-		svc:      svc,
-		mux:      http.NewServeMux(),
-		inflight: make(chan struct{}, opts.MaxInflight),
+		opts:       opts,
+		svc:        svc,
+		mux:        http.NewServeMux(),
+		inflight:   make(chan struct{}, opts.MaxInflight),
+		wal:        log,
+		recovery:   recovery,
+		replayDone: make(chan struct{}),
+	}
+	if log != nil {
+		s.replay.unresolved = len(recovery.Unresolved)
+		s.recovering.Store(true)
+	} else {
+		close(s.replayDone)
 	}
 	s.batch = newBatcher(svc, opts.Shards, opts.MaxInflight)
 	s.mux.HandleFunc("/submit", s.handleSubmit)
@@ -257,6 +311,11 @@ func (s *Server) ServeListeners(ctx context.Context, httpLn, wireLn net.Listener
 	svcDone := make(chan error, 1)
 	go func() { svcDone <- s.svc.Run(runCtx) }()
 	s.batch.start()
+	if s.wal != nil {
+		// Resolve the crash backlog in the background while the
+		// listeners serve; /healthz reports recovering=true until done.
+		go s.replayWAL(runCtx)
+	}
 
 	hs := &http.Server{
 		Handler:      s.Handler(),
@@ -324,6 +383,13 @@ func (s *Server) ServeListeners(ctx context.Context, httpLn, wireLn net.Listener
 	if wireDone != nil {
 		<-wireDone
 	}
+	// The WAL closes last: the drain above answered every in-flight
+	// submission, which required their outcome records to sync, and the
+	// replay goroutine (if any) has observed the cancelled runCtx.
+	<-s.replayDone
+	if s.wal != nil {
+		_ = s.wal.Close()
+	}
 	return failure
 }
 
@@ -354,7 +420,7 @@ func (cc countingCompleter) Complete(id uint64, o core.ServiceOutcome, err error
 		}
 	case errors.Is(err, core.ErrDraining) || errors.Is(err, core.ErrServiceStopped):
 		cc.s.shed.Add(1)
-	case errors.Is(err, core.ErrEngineFailed):
+	case errors.Is(err, core.ErrEngineFailed), errors.Is(err, core.ErrLogFailed):
 		cc.s.failed.Add(1)
 	default:
 		cc.s.badReqs.Add(1)
@@ -443,6 +509,10 @@ type SubmitResponse struct {
 	ResponseMs float64 `json:"response_ms,omitempty"`
 	// Restarts is how many times the transaction was wounded and re-run.
 	Restarts int `json:"restarts"`
+	// WALSeq is the submission's durable sequence number (WAL enabled
+	// only): the answer was written to the log before it was sent, and
+	// a reconnecting client can match it against recovered outcomes.
+	WALSeq uint64 `json:"wal_seq,omitempty"`
 	// Error carries a human-readable refusal reason (shed, draining).
 	Error string `json:"error,omitempty"`
 }
@@ -591,10 +661,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, core.ErrServiceStopped):
 		s.shedResponse(w, "service stopped")
 		return
-	case errors.Is(err, core.ErrEngineFailed):
-		// The engine died with this submission in flight: the outcome is
-		// unknown, so this is a 500 (not a retriable 503) — blind
-		// resubmission could double-execute.
+	case errors.Is(err, core.ErrEngineFailed), errors.Is(err, core.ErrLogFailed):
+		// The engine died with this submission in flight (or its outcome
+		// could not be made durable): the outcome is unknown, so this is
+		// a 500 (not a retriable 503) — blind resubmission could
+		// double-execute.
 		s.failed.Add(1)
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -611,6 +682,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		ArrivalMs:  ms(o.Arrival),
 		DeadlineMs: ms(o.Deadline),
 		Restarts:   o.Restarts,
+		WALSeq:     o.Seq,
 	}
 	status := http.StatusOK
 	switch o.State {
@@ -708,6 +780,11 @@ type MetricsResponse struct {
 	// only; null otherwise): current penalty weight, tuner step count,
 	// and the highest observed per-pair conflict rates.
 	Predict *core.PredictSnapshot `json:"predict,omitempty"`
+	// WAL holds the write-ahead-log counters (null when durability is
+	// disabled) and Replay the startup crash-recovery progress.
+	WAL        *wal.Stats   `json:"wal,omitempty"`
+	Replay     *ReplayStats `json:"wal_replay,omitempty"`
+	Recovering bool         `json:"recovering,omitempty"`
 }
 
 // metricsResponse builds the snapshot served by HTTP /metrics and the
@@ -742,6 +819,13 @@ func (s *Server) metricsResponse() MetricsResponse {
 		resp.NowMs = ms(st.Now)
 		resp.Predict = st.Predict
 	}
+	if s.wal != nil {
+		ws := s.wal.Stats()
+		rs := s.ReplayStats()
+		resp.WAL = &ws
+		resp.Replay = &rs
+		resp.Recovering = s.Recovering()
+	}
 	resp.P50ResponseMs, resp.P95ResponseMs, resp.P99ResponseMs = s.responsePercentiles()
 	return resp
 }
@@ -762,7 +846,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain")
 	// A degraded service is still healthy (HTTP 200, "ok" prefix — probes
 	// grep for it) but advertises that it survived an internal failure.
-	fmt.Fprintf(w, "ok draining=%v degraded=%v\n", s.svc.Draining(), s.svc.Degraded())
+	// recovering=true means the startup replay of unresolved WAL records
+	// is still running (new traffic is served normally meanwhile).
+	fmt.Fprintf(w, "ok draining=%v degraded=%v recovering=%v\n",
+		s.svc.Draining(), s.svc.Degraded(), s.Recovering())
 }
 
 // observeResponse records one completed submission's wall response time.

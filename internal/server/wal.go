@@ -1,0 +1,210 @@
+// WAL glue: the server side of durable submissions. New opens the log
+// (openWAL) and hands it to the service, so every accepted submission
+// is appended before injection and every answer waits for its outcome
+// record's fsync (see core.WALHook). On startup the log may hold
+// unresolved submissions — accepted work whose client never got an
+// answer before the last crash. ServeListeners resolves them exactly
+// once, in a background replay that /healthz advertises as
+// `recovering=true` until it finishes:
+//
+//   - with Options.Recover, each unresolved submission is re-run
+//     through the unchanged engine (chunked SubmitBatch entries with
+//     WALSeq set, so the service skips the duplicate submit append and
+//     stamps the outcome FlagReplayed — the at-most-once marker a
+//     reconnecting client uses to discard duplicate effects);
+//   - without it, each is resolved with an aborted outcome record: the
+//     log converges without re-executing work the operator chose not
+//     to trust.
+//
+// Drain during replay is safe: submissions the service refuses stay
+// unresolved (no record is appended on the pre-wrap ErrDraining path),
+// so the next -recover run picks them up again.
+package server
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/wal"
+)
+
+// replayChunk bounds one SubmitBatch of recovered submissions, so a
+// large backlog replays in bounded bursts instead of flooding the
+// engine's admission controller in one call.
+const replayChunk = 256
+
+// ReplayStats summarizes startup crash recovery for /metrics.
+type ReplayStats struct {
+	// Unresolved is how many submissions the scan found accepted but
+	// unanswered.
+	Unresolved int `json:"unresolved"`
+	// Replayed were re-executed to a terminal outcome (Recover set).
+	Replayed int64 `json:"replayed"`
+	// Aborted were resolved with an aborted outcome record: Recover
+	// unset, or the replay was refused by validation.
+	Aborted int64 `json:"aborted"`
+	// Failed were not re-executed (drain, shutdown, engine or log
+	// failure); those still unresolved in the log are picked up by the
+	// next recovery.
+	Failed int64 `json:"failed"`
+	// Done reports that the replay pass has finished.
+	Done bool `json:"done"`
+}
+
+// replayState carries the counters the replay goroutine updates while
+// /metrics reads them.
+type replayState struct {
+	unresolved int
+	replayed   atomic.Int64
+	aborted    atomic.Int64
+	failed     atomic.Int64
+}
+
+// openWAL opens the write-ahead log per Options; (nil, nil, nil) when
+// durability is disabled.
+func openWAL(opts *Options) (*wal.Logger, *wal.Recovery, error) {
+	if opts.WALDir == "" && opts.WALFS == nil {
+		return nil, nil, nil
+	}
+	fsys := opts.WALFS
+	if fsys == nil {
+		d, err := wal.NewDirFS(opts.WALDir)
+		if err != nil {
+			return nil, nil, err
+		}
+		fsys = d
+		// An on-disk WAL needs at least two Ps: every answer waits for
+		// the sync goroutine's fsync, and with GOMAXPROCS=1 that
+		// goroutine re-queues behind the whole run queue each time the
+		// syscall returns, inflating the group-commit cycle (measured
+		// ~6x under load on a single-CPU host). A second P lets the
+		// fsync return resume immediately and overlap with request
+		// processing. Raise-only, and only when durability is on.
+		if runtime.GOMAXPROCS(0) < 2 {
+			runtime.GOMAXPROCS(2)
+		}
+	}
+	wo := wal.Options{
+		FS:           fsys,
+		SyncEvery:    opts.WALSync,
+		SegmentBytes: opts.WALSegmentBytes,
+		Retain:       opts.WALRetain,
+	}
+	if !opts.WALFileFaults.Zero() {
+		if err := opts.WALFileFaults.Validate(); err != nil {
+			return nil, nil, err
+		}
+		plan, seed := opts.WALFileFaults, opts.WALFaultSeed
+		wo.WrapFile = func(name string, f wal.File) wal.File {
+			return fault.WrapFile(seed, plan, name, f)
+		}
+	}
+	return wal.Open(wo)
+}
+
+// Recovering reports that the startup replay of unresolved WAL records
+// is still in progress (also on /healthz as recovering=true).
+func (s *Server) Recovering() bool { return s.recovering.Load() }
+
+// WAL returns the server's write-ahead log (nil when disabled) — test
+// and tooling access.
+func (s *Server) WAL() *wal.Logger { return s.wal }
+
+// Recovery returns what the startup scan of the WAL found (nil when
+// the WAL is disabled).
+func (s *Server) Recovery() *wal.Recovery { return s.recovery }
+
+// ReplayStats snapshots the recovery-replay counters.
+func (s *Server) ReplayStats() ReplayStats {
+	return ReplayStats{
+		Unresolved: s.replay.unresolved,
+		Replayed:   s.replay.replayed.Load(),
+		Aborted:    s.replay.aborted.Load(),
+		Failed:     s.replay.failed.Load(),
+		Done:       !s.recovering.Load(),
+	}
+}
+
+// replayWAL resolves every unresolved submission the startup scan
+// found, then clears the recovering flag. Runs once, in the background,
+// while the listeners already serve: new live traffic and replay
+// traffic interleave safely because both flow through the same
+// append-before-ack submit path.
+func (s *Server) replayWAL(ctx context.Context) {
+	defer close(s.replayDone)
+	defer s.recovering.Store(false)
+	unresolved := s.recovery.Unresolved
+	if len(unresolved) == 0 {
+		return
+	}
+	if !s.opts.Recover {
+		// Resolve without re-execution: append an aborted outcome for
+		// each record so the log converges. FlagReplayed marks these as
+		// recovery-produced, not client-visible effects.
+		for i := range unresolved {
+			rec := wal.OutcomeRecord{
+				Seq:    unresolved[i].Seq,
+				Flags:  wal.FlagAborted | wal.FlagReplayed,
+				State:  uint8(core.StateDropped),
+				Missed: true,
+			}
+			if err := s.wal.AppendOutcome(&rec, nil); err != nil {
+				s.replay.failed.Add(1)
+				continue
+			}
+			s.replay.aborted.Add(1)
+		}
+		_ = s.wal.Sync()
+		return
+	}
+	for start := 0; start < len(unresolved); start += replayChunk {
+		if ctx.Err() != nil {
+			// Shutdown mid-replay: everything not yet resolved stays
+			// unresolved in the log for the next -recover run.
+			s.replay.failed.Add(int64(len(unresolved) - start))
+			return
+		}
+		end := start + replayChunk
+		if end > len(unresolved) {
+			end = len(unresolved)
+		}
+		var wg sync.WaitGroup
+		subs := make([]core.Submission, 0, end-start)
+		for i := start; i < end; i++ {
+			rec := &unresolved[i]
+			wg.Add(1)
+			subs = append(subs, core.Submission{
+				Req:    core.RequestFromWAL(rec),
+				WALSeq: rec.Seq,
+				Done: func(o core.ServiceOutcome, err error) {
+					defer wg.Done()
+					switch {
+					case err == nil:
+						s.replay.replayed.Add(1)
+					case errors.Is(err, core.ErrDraining),
+						errors.Is(err, core.ErrServiceStopped),
+						errors.Is(err, core.ErrEngineFailed),
+						errors.Is(err, core.ErrLogFailed):
+						// Not re-executed; a record left unresolved (the
+						// drain path refuses before any append) is picked
+						// up by the next recovery.
+						s.replay.failed.Add(1)
+					default:
+						// Refused by validation: WrapDone appended the
+						// aborted outcome; the record is resolved.
+						s.replay.aborted.Add(1)
+					}
+				},
+			})
+		}
+		s.svc.SubmitBatch(subs)
+		// One chunk in flight at a time: bounded engine load, and the
+		// chunk's outcome records are durable before the next burst.
+		wg.Wait()
+	}
+}

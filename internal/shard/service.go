@@ -28,6 +28,7 @@ import (
 	"repro/internal/predict"
 	"repro/internal/trace"
 	"repro/internal/txn"
+	"repro/internal/wal"
 )
 
 // SuperviseOptions control shard-failure containment.
@@ -85,6 +86,12 @@ type ServiceOptions struct {
 	// Supervise contains shard-driver failures instead of letting one
 	// panicking shard kill the whole service.
 	Supervise SuperviseOptions
+	// WAL, when non-nil, makes submissions durable at the service level:
+	// records are appended before routing, so one log orders the whole
+	// sharded system and replay re-routes through the same footprint
+	// logic. The per-shard cores always run without a WAL of their own
+	// (Core.WAL is ignored).
+	WAL *wal.Logger
 }
 
 // partReq is one shard's slice of a cross-shard request.
@@ -112,6 +119,7 @@ type Service struct {
 	n         int
 	coreOpt   core.ServiceOptions
 	sup       SuperviseOptions
+	wal       core.WALHook
 	wallEpoch time.Duration
 
 	// svcMu guards the shard table and its supervision bookkeeping; the
@@ -153,6 +161,10 @@ func NewService(cfg core.Config, opt ServiceOptions) (*Service, error) {
 	if speed <= 0 {
 		speed = 1
 	}
+	// Durability is a service-level concern: the shard cores must not
+	// double-log, so the logger lives on this service and the per-shard
+	// option is forced off (restarted shards inherit the same coreOpt).
+	opt.Core.WAL = nil
 	wall := time.Duration(float64(epoch) / speed)
 	if wall < time.Millisecond {
 		wall = time.Millisecond // don't busy-tick at extreme test speeds
@@ -162,6 +174,7 @@ func NewService(cfg core.Config, opt ServiceOptions) (*Service, error) {
 		n:         opt.Shards,
 		coreOpt:   opt.Core,
 		sup:       opt.Supervise,
+		wal:       core.WALHook{Log: opt.WAL},
 		wallEpoch: wall,
 		stopCh:    make(chan struct{}),
 		dead:      make([]bool, opt.Shards),
@@ -347,6 +360,30 @@ func (s *Service) Submit(ctx context.Context, req core.ServiceRequest) (core.Ser
 	if draining {
 		return core.ServiceOutcome{}, core.ErrDraining
 	}
+	if !s.wal.Enabled() {
+		return s.submit(ctx, req)
+	}
+	// Durable path: submit record before routing, answer released only
+	// once the outcome record is fsynced (see core.WALHook).
+	seq, err := s.wal.LogSubmit(&req)
+	if err != nil {
+		return core.ServiceOutcome{}, err
+	}
+	type res struct {
+		o   core.ServiceOutcome
+		err error
+	}
+	ch := make(chan res, 1)
+	deliver := s.wal.WrapDone(seq, false, func(o core.ServiceOutcome, err error) { ch <- res{o, err} })
+	o, err := s.submit(ctx, req)
+	deliver(o, err)
+	r := <-ch
+	return r.o, r.err
+}
+
+// submit is Submit's routing body, shared by the durable and direct
+// paths.
+func (s *Service) submit(ctx context.Context, req core.ServiceRequest) (core.ServiceOutcome, error) {
 	mask := txn.ShardsTouched(req.Items, s.n)
 	if mask&(mask-1) == 0 {
 		home := 0
@@ -408,9 +445,35 @@ func (s *Service) SubmitBatch(subs []core.Submission) []core.SubmitHandle {
 	}
 	s.mu.Unlock()
 
+	// Durability first, so every later path — home-shard injection,
+	// cross-shard fan-out, even validation failures inside the shard —
+	// flows through the log's resolve-or-replay accounting. Replays
+	// (WALSeq set) keep their existing record.
+	if s.wal.Enabled() {
+		for i := range subs {
+			sub := &subs[i]
+			seq, replay := sub.WALSeq, sub.WALSeq != 0
+			if !replay {
+				var err error
+				if seq, err = s.wal.LogSubmit(&sub.Req); err != nil {
+					// Logging is down (sticky failure): answer and mark the
+					// entry answered so no later path touches it.
+					sub.Done(core.ServiceOutcome{}, err)
+					sub.Done = nil
+					continue
+				}
+				sub.WALSeq = seq
+			}
+			sub.Done = s.wal.WrapDone(seq, replay, sub.Done)
+		}
+	}
+
 	// Group by home shard; -1 marks cross-shard entries.
 	byShard := make([][]int, s.n)
 	for i := range subs {
+		if subs[i].Done == nil {
+			continue // already answered: WAL append failed above
+		}
 		mask := txn.ShardsTouched(subs[i].Req.Items, s.n)
 		if mask != 0 && mask&(mask-1) == 0 {
 			home := 0

@@ -1,0 +1,289 @@
+// Filesystem seam for the WAL. The logger and the recovery scanner
+// talk to an FS interface rather than the os package so that crash
+// tests can run against MemFS: an in-memory filesystem that tracks,
+// per file, how much of the written data has actually been fsynced.
+// MemFS.Crash() throws away everything past each file's synced prefix
+// — exactly what SIGKILL plus a lost page cache does to a real log —
+// which lets the kill-point matrix exercise torn tails deterministically
+// and without subprocesses.
+package wal
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// File is the slice of *os.File the WAL needs for an open segment.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FS abstracts the directory holding WAL segments.
+type FS interface {
+	// Create creates (or truncates) the named file for appending.
+	Create(name string) (File, error)
+	// ReadFile returns the full contents of the named file.
+	ReadFile(name string) ([]byte, error)
+	// List returns the names of regular files in the directory, sorted.
+	List() ([]string, error)
+	// Remove deletes the named file.
+	Remove(name string) error
+	// WriteFileAtomic replaces the named file's contents (used by
+	// recovery to truncate a torn tail in place).
+	WriteFileAtomic(name string, data []byte) error
+}
+
+// --- DirFS ---------------------------------------------------------------
+
+// DirFS is the production FS: a single OS directory.
+type DirFS struct{ dir string }
+
+// NewDirFS returns a DirFS rooted at dir, creating it if needed.
+func NewDirFS(dir string) (*DirFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	return &DirFS{dir: dir}, nil
+}
+
+func (d *DirFS) path(name string) string { return filepath.Join(d.dir, name) }
+
+// Create implements FS.
+func (d *DirFS) Create(name string) (File, error) {
+	f, err := os.OpenFile(d.path(name), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ReadFile implements FS.
+func (d *DirFS) ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(d.path(name))
+}
+
+// List implements FS.
+func (d *DirFS) List() ([]string, error) {
+	ents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if e.Type().IsRegular() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove implements FS.
+func (d *DirFS) Remove(name string) error { return os.Remove(d.path(name)) }
+
+// WriteFileAtomic implements FS via write-to-temp + rename + dir sync,
+// so a crash during truncation leaves either the old or the new file.
+func (d *DirFS) WriteFileAtomic(name string, data []byte) error {
+	tmp := d.path(name + ".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, d.path(name)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(d.dir)
+}
+
+func syncDir(dir string) error {
+	df, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer df.Close()
+	// Directory fsync is advisory: some filesystems reject it (EINVAL)
+	// even though the rename is already durable enough for a log whose
+	// tail is checksummed. Surface open errors, tolerate sync ones.
+	_ = df.Sync()
+	return nil
+}
+
+// --- MemFS ---------------------------------------------------------------
+
+// MemFS is an in-memory FS with crash semantics: each file remembers
+// the prefix that has been "fsynced", and Crash() rolls every file back
+// to that prefix, discarding writes that were acknowledged by Write but
+// never reached Sync — the data a real kernel keeps in the page cache
+// and loses on power failure or SIGKILL-without-sync.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+}
+
+type memFile struct {
+	fs     *MemFS
+	name   string
+	data   []byte
+	synced int
+	closed bool
+}
+
+// NewMemFS returns an empty MemFS.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memFile)}
+}
+
+// Create implements FS.
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := &memFile{fs: m, name: name}
+	m.files[name] = f
+	return f, nil
+}
+
+// ReadFile implements FS.
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, &fs.PathError{Op: "read", Path: name, Err: fs.ErrNotExist}
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// List implements FS.
+func (m *MemFS) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.files))
+	for n := range m.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// WriteFileAtomic implements FS. In memory the replacement is trivially
+// atomic and durable.
+func (m *MemFS) WriteFileAtomic(name string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := &memFile{fs: m, name: name, data: append([]byte(nil), data...)}
+	f.synced = len(f.data)
+	f.closed = true
+	m.files[name] = f
+	return nil
+}
+
+// Crash simulates a process kill plus page-cache loss: every file is
+// truncated to its synced prefix. Open handles become stale — a logger
+// using this FS must be abandoned, not closed, after Crash.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range m.files {
+		f.data = f.data[:f.synced]
+		f.closed = true
+	}
+}
+
+// Corrupt flips one byte at off in the named file, bypassing the sync
+// model — for building bad-checksum fixtures.
+func (m *MemFS) Corrupt(name string, off int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok || off < 0 || off >= len(f.data) {
+		return fmt.Errorf("wal: corrupt %q@%d: no such byte", name, off)
+	}
+	f.data[off] ^= 0xff
+	if f.synced < off+1 {
+		f.synced = off + 1
+	}
+	return nil
+}
+
+// Append appends raw bytes to the named file as if they were written
+// and synced — for building torn/garbage-tail fixtures.
+func (m *MemFS) Append(name string, p []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return &fs.PathError{Op: "append", Path: name, Err: fs.ErrNotExist}
+	}
+	f.data = append(f.data, p...)
+	f.synced = len(f.data)
+	return nil
+}
+
+// SyncedLen reports the synced prefix length of the named file.
+func (m *MemFS) SyncedLen(name string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.files[name]; ok {
+		return f.synced
+	}
+	return -1
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, fs.ErrClosed
+	}
+	f.data = append(f.data, p...)
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return fs.ErrClosed
+	}
+	f.synced = len(f.data)
+	return nil
+}
+
+func (f *memFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.closed = true
+	return nil
+}

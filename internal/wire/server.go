@@ -382,9 +382,11 @@ func (c *conn) Complete(id uint64, o core.ServiceOutcome, err error) {
 		f.resp.Finish = o.Finish
 		f.resp.Deadline = o.Deadline
 		f.resp.Response = o.Response
-	case errors.Is(err, core.ErrEngineFailed):
-		// Outcome unknown: the transaction may have partially run, so no
-		// retry hint — blind resubmission could double-execute it.
+		f.resp.Seq = o.Seq
+	case errors.Is(err, core.ErrEngineFailed), errors.Is(err, core.ErrLogFailed):
+		// Outcome unknown: the transaction may have partially run (or run
+		// without a durable record), so no retry hint — blind resubmission
+		// could double-execute it.
 		f.resp.Status = StatusFailed
 		f.resp.Err = err.Error()
 	case errors.Is(err, core.ErrDraining) || errors.Is(err, core.ErrServiceStopped):

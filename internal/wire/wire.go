@@ -109,6 +109,7 @@ type SubmitResp struct {
 	Finish     time.Duration
 	Deadline   time.Duration
 	Response   time.Duration
+	Seq        uint64 // write-ahead-log sequence number (0: WAL disabled)
 	Err        string // human-readable reason for Shed/Invalid
 }
 
@@ -311,6 +312,7 @@ func AppendSubmitResp(buf []byte, id uint64, r *SubmitResp) []byte {
 	buf = appendU64(buf, uint64(r.Finish))
 	buf = appendU64(buf, uint64(r.Deadline))
 	buf = appendU64(buf, uint64(r.Response))
+	buf = appendU64(buf, r.Seq)
 	buf = appendU16(buf, uint16(len(r.Err)))
 	buf = append(buf, r.Err...)
 	return patchLen(buf, start)
@@ -319,7 +321,7 @@ func AppendSubmitResp(buf []byte, id uint64, r *SubmitResp) []byte {
 // DecodeSubmitResp decodes a FrameSubmitResp payload into r. The Err
 // string is copied out of p (strings are immutable; p is reused).
 func DecodeSubmitResp(p []byte, r *SubmitResp) error {
-	const fixed = 2 + 2 + 4 + 4*8 + 2
+	const fixed = 2 + 2 + 4 + 5*8 + 2
 	if len(p) < fixed {
 		return fmt.Errorf("wire: submit response truncated (%d bytes)", len(p))
 	}
@@ -331,7 +333,8 @@ func DecodeSubmitResp(p []byte, r *SubmitResp) error {
 	r.Finish = time.Duration(getU64(p[16:]))
 	r.Deadline = time.Duration(getU64(p[24:]))
 	r.Response = time.Duration(getU64(p[32:]))
-	en := int(getU16(p[40:]))
+	r.Seq = getU64(p[40:])
+	en := int(getU16(p[48:]))
 	if len(p) != fixed+en {
 		return fmt.Errorf("wire: submit response length %d, want %d", len(p), fixed+en)
 	}
